@@ -1,0 +1,33 @@
+//! Data-mining applications from §VI of the paper.
+//!
+//! The paper motivates PKG with four application patterns, all of which are
+//! implemented here on real substrates:
+//!
+//! * [`wordcount`] — streaming top-k word count, the running example (§II)
+//!   and the application deployed on Storm for Q4 (Fig. 5). Three variants
+//!   matching the paper's: key grouping with running counters, shuffle /
+//!   partial key grouping with periodically-flushed partial counters plus a
+//!   downstream aggregator.
+//! * [`spacesaving`] — the SPACESAVING algorithm [Metwally et al., ICDT'05]
+//!   with mergeable-summary combination [Berinde et al., TODS'10] (§VI-C):
+//!   with PKG "the error for each item depends on the sum of only two error
+//!   terms, regardless of the parallelism level".
+//! * [`naive_bayes`] — a streaming naive Bayes classifier with vertical
+//!   parallelism (§VI-A): feature-class co-occurrence counters partitioned
+//!   by feature; PKG bounds the query fan-out to two workers per feature.
+//! * [`histogram_sketch`] + [`decision_tree`] — the streaming parallel
+//!   decision tree of Ben-Haim & Tom-Tov [JMLR'10] (§VI-B), built on
+//!   fixed-size mergeable approximate histograms; PKG makes the histogram
+//!   count per feature `2·D·C·L` instead of `W·D·C·L`.
+
+pub mod decision_tree;
+pub mod histogram_sketch;
+pub mod naive_bayes;
+pub mod spacesaving;
+pub mod wordcount;
+
+pub use decision_tree::{SpdtAggregator, SpdtConfig, SpdtWorker};
+pub use histogram_sketch::BhHistogram;
+pub use naive_bayes::{NaiveBayes, NbEvent};
+pub use spacesaving::SpaceSaving;
+pub use wordcount::{wordcount_topology, WordCountConfig, WordCountVariant};

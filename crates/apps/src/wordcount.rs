@@ -1,0 +1,378 @@
+//! Streaming top-k word count — the paper's running example (§II) and the
+//! application measured on the real deployment (Q4, Fig. 5).
+//!
+//! Three variants, exactly as the paper deploys them:
+//!
+//! * **KG** — key grouping to the counters; each counter keeps a *running*
+//!   count per word (each word lives on exactly one counter) and
+//!   periodically sends its local top-k to the aggregator.
+//! * **SG** — shuffle grouping; counters keep *partial* counts for any word
+//!   and flush them (emit + clear) every aggregation period `T`; the
+//!   aggregator sums partials into totals. Memory grows as `O(W·K)`.
+//! * **PKG** — partial key grouping; like SG but each word reaches at most
+//!   two counters, so memory is `O(2K)` and per-word aggregation merges two
+//!   partials instead of `W`.
+//!
+//! The per-tuple `service_delay` emulates the paper's CPU-delay knob (they
+//! add 0.1–1 ms of processing per key to reach the cluster's saturation
+//! point). The delay is enforced by sleeping, which models one dedicated
+//! core per PEI (the paper's 10-VM cluster) rather than contending for this
+//! machine's cores.
+
+use std::time::Duration;
+
+use pkg_datagen::text::word_for_rank;
+use pkg_datagen::zipf::ZipfTable;
+use pkg_engine::prelude::*;
+use pkg_engine::topology::NodeId;
+use pkg_hash::FxHashMap;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Which stream partitioning the source → counter edge uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordCountVariant {
+    /// Key grouping (running counters, top-k flushes).
+    KeyGrouping,
+    /// Shuffle grouping (partial counters, full flushes).
+    ShuffleGrouping,
+    /// Partial key grouping (partial counters, full flushes, ≤ 2 workers
+    /// per word).
+    PartialKeyGrouping,
+}
+
+impl WordCountVariant {
+    /// Short label (KG / SG / PKG).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WordCountVariant::KeyGrouping => "KG",
+            WordCountVariant::ShuffleGrouping => "SG",
+            WordCountVariant::PartialKeyGrouping => "PKG",
+        }
+    }
+
+    fn grouping(&self) -> Grouping {
+        match self {
+            WordCountVariant::KeyGrouping => Grouping::Key,
+            WordCountVariant::ShuffleGrouping => Grouping::Shuffle,
+            WordCountVariant::PartialKeyGrouping => Grouping::partial_key(),
+        }
+    }
+}
+
+/// Configuration of a word-count topology.
+#[derive(Debug, Clone)]
+pub struct WordCountConfig {
+    /// Partitioning variant under test.
+    pub variant: WordCountVariant,
+    /// Source parallelism (paper: 1).
+    pub sources: usize,
+    /// Counter parallelism (paper: 9).
+    pub counters: usize,
+    /// Words emitted *per source instance*.
+    pub messages_per_source: u64,
+    /// Vocabulary size.
+    pub vocabulary: u64,
+    /// Head-word probability (the stream is Zipf with this `p1`).
+    pub p1: f64,
+    /// Emulated per-tuple CPU cost at the counters.
+    pub service_delay: Duration,
+    /// Aggregation period `T` (tick interval of the counters); `None`
+    /// flushes only at end of stream.
+    pub aggregation_period: Option<Duration>,
+    /// `k` of the final top-k.
+    pub top_k: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Cap the source emission rate (tuples/s per source); `None` emits as
+    /// fast as backpressure allows. The paper's cluster ingests a bounded
+    /// external stream; the cap reproduces its unsaturated-at-low-delay /
+    /// saturated-at-high-delay transition.
+    pub source_rate: Option<f64>,
+}
+
+impl Default for WordCountConfig {
+    fn default() -> Self {
+        Self {
+            variant: WordCountVariant::PartialKeyGrouping,
+            sources: 1,
+            counters: 9,
+            messages_per_source: 100_000,
+            vocabulary: 10_000,
+            p1: 0.0932, // the WP profile's skew
+            service_delay: Duration::ZERO,
+            aggregation_period: None,
+            top_k: 10,
+            seed: 42,
+            source_rate: None,
+        }
+    }
+}
+
+/// The word counter bolt (both running and partial flavors).
+pub struct CounterBolt {
+    counts: FxHashMap<Box<[u8]>, i64>,
+    /// Running counters (KG) flush their top-k and keep state; partial
+    /// counters (SG/PKG) flush everything and clear.
+    running: bool,
+    delay: Duration,
+    /// Accumulated service time not yet slept (OS sleep granularity is
+    /// ~1 ms, far above the 0.1 ms per-tuple delays; batching the owed time
+    /// keeps each instance's long-run service *rate* exact).
+    owed: Duration,
+    top_k: usize,
+}
+
+/// Sleep once the owed service time reaches this much (well above Linux
+/// timer slack, so the realized sleep tracks the request closely).
+const OWED_SLEEP_THRESHOLD: Duration = Duration::from_millis(4);
+
+impl CounterBolt {
+    /// A counter bolt: `running = true` for the KG variant (keeps state,
+    /// flushes its top-k), `false` for SG/PKG (flushes and clears all
+    /// partial counts).
+    pub fn new(running: bool, delay: Duration, top_k: usize) -> Self {
+        Self { counts: FxHashMap::default(), running, delay, owed: Duration::ZERO, top_k }
+    }
+
+    fn flush(&mut self, out: &mut Emitter<'_>) {
+        if self.running {
+            // Emit the local top-k running counts (value = running total).
+            let mut entries: Vec<(&Box<[u8]>, &i64)> = self.counts.iter().collect();
+            entries.sort_unstable_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            for (key, &count) in entries.into_iter().take(self.top_k) {
+                out.emit(Tuple::new(key.clone(), count));
+            }
+        } else {
+            // Emit all partial counts and clear.
+            for (key, count) in self.counts.drain() {
+                out.emit(Tuple::new(key, count));
+            }
+        }
+    }
+}
+
+impl Bolt for CounterBolt {
+    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
+        if !self.delay.is_zero() {
+            // One dedicated core per PEI: serialize service time by
+            // sleeping, batched to defeat OS timer granularity.
+            self.owed += self.delay;
+            if self.owed >= OWED_SLEEP_THRESHOLD {
+                let start = std::time::Instant::now();
+                std::thread::sleep(self.owed);
+                self.owed = self.owed.saturating_sub(start.elapsed());
+            }
+        }
+        *self.counts.entry(tuple.key).or_insert(0) += tuple.value;
+    }
+
+    fn tick(&mut self, out: &mut Emitter<'_>) {
+        self.flush(out);
+    }
+
+    fn finish(&mut self, out: &mut Emitter<'_>) {
+        self.flush(out);
+    }
+
+    fn state_size(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// The top-k aggregator bolt.
+pub struct AggregatorBolt {
+    totals: FxHashMap<Box<[u8]>, i64>,
+    /// Running inputs replace (monotone maxima); partial inputs add.
+    running_inputs: bool,
+}
+
+impl AggregatorBolt {
+    /// An aggregator: `running_inputs = true` merges running counts by
+    /// maximum (KG), `false` sums partial counts (SG/PKG).
+    pub fn new(running_inputs: bool) -> Self {
+        Self { totals: FxHashMap::default(), running_inputs }
+    }
+}
+
+impl Bolt for AggregatorBolt {
+    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
+        let entry = self.totals.entry(tuple.key).or_insert(0);
+        if self.running_inputs {
+            *entry = (*entry).max(tuple.value);
+        } else {
+            *entry += tuple.value;
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.totals.len()
+    }
+}
+
+/// Build the three-stage topology: `source → counter → aggregator`.
+///
+/// Returns the topology and the node ids `(source, counter, aggregator)`.
+pub fn wordcount_topology(cfg: &WordCountConfig) -> (Topology, NodeId, NodeId, NodeId) {
+    let mut topo = Topology::new();
+    let cfg2 = cfg.clone();
+    let source = topo.add_spout("source", cfg.sources, move |i| {
+        let zipf = ZipfTable::with_p1(cfg2.vocabulary, cfg2.p1);
+        let mut rng = SmallRng::seed_from_u64(cfg2.seed ^ (i as u64).wrapping_mul(0x9e37));
+        let mut left = cfg2.messages_per_source;
+        let rate = cfg2.source_rate;
+        let started = std::time::Instant::now();
+        let total = cfg2.messages_per_source;
+        spout_from_fn(move || {
+            if left == 0 {
+                return None;
+            }
+            if let Some(r) = rate {
+                // Emit tuple i no earlier than i/r seconds after start;
+                // sleep only when ahead by more than the timer slack.
+                let emitted = total - left;
+                let due = Duration::from_secs_f64(emitted as f64 / r);
+                let ahead = due.saturating_sub(started.elapsed());
+                if ahead > Duration::from_millis(2) {
+                    std::thread::sleep(ahead);
+                }
+            }
+            left -= 1;
+            let rank = zipf.sample(&mut rng);
+            Some(Tuple::new(word_for_rank(rank).into_bytes(), 1))
+        })
+    });
+
+    let running = cfg.variant == WordCountVariant::KeyGrouping;
+    let (delay, top_k) = (cfg.service_delay, cfg.top_k);
+    let mut counter_handle = topo
+        .add_bolt("counter", cfg.counters, move |_| {
+            Box::new(CounterBolt::new(running, delay, top_k))
+        })
+        .input(source, cfg.variant.grouping());
+    if let Some(period) = cfg.aggregation_period {
+        counter_handle = counter_handle.tick_every(period);
+    }
+    let counter = counter_handle.id();
+
+    // Partials for the same word must meet: key grouping into the
+    // aggregator (a single instance here, as in the paper's topology).
+    let aggregator = topo
+        .add_bolt("aggregator", 1, move |_| Box::new(AggregatorBolt::new(running)))
+        .input(counter, Grouping::Key)
+        .id();
+    (topo, source, counter, aggregator)
+}
+
+/// Ground-truth word counts for a config (regenerates the same stream).
+pub fn exact_counts(cfg: &WordCountConfig) -> FxHashMap<String, i64> {
+    let mut totals: FxHashMap<String, i64> = FxHashMap::default();
+    for i in 0..cfg.sources {
+        let zipf = ZipfTable::with_p1(cfg.vocabulary, cfg.p1);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9e37));
+        for _ in 0..cfg.messages_per_source {
+            *totals.entry(word_for_rank(zipf.sample(&mut rng))).or_insert(0) += 1;
+        }
+    }
+    totals
+}
+
+/// Extract the aggregator's final top-k from run statistics — requires the
+/// aggregator bolt to have been observed via a terminal probe; for
+/// simplicity the experiments re-derive top-k from `exact_counts` where
+/// needed, and tests assert conservation instead.
+pub fn top_k_of(totals: &FxHashMap<String, i64>, k: usize) -> Vec<(String, i64)> {
+    let mut v: Vec<(String, i64)> = totals.iter().map(|(w, &c)| (w.clone(), c)).collect();
+    v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: &WordCountConfig) -> pkg_engine::RunStats {
+        let (topo, _, _, _) = wordcount_topology(cfg);
+        Runtime::new().run(topo)
+    }
+
+    #[test]
+    fn partial_variant_conserves_counts() {
+        let cfg = WordCountConfig {
+            variant: WordCountVariant::PartialKeyGrouping,
+            messages_per_source: 20_000,
+            vocabulary: 500,
+            aggregation_period: Some(Duration::from_millis(10)),
+            ..WordCountConfig::default()
+        };
+        let stats = run(&cfg);
+        assert_eq!(stats.processed("counter"), 20_000);
+        // Every unit reaches the aggregator exactly once (flush+clear).
+        let agg = stats.instances.iter().find(|i| i.component == "aggregator").expect("agg");
+        assert!(agg.processed > 0);
+        // The aggregator's totals equal the message count: verified via
+        // state accounting — final state counts distinct words; the sum is
+        // checked in the integration tests where the bolt is accessible.
+        assert_eq!(stats.emitted("counter"), agg.processed);
+    }
+
+    #[test]
+    fn pkg_memory_between_kg_and_sg() {
+        // §III: KG keeps K counters, PKG ≤ 2K, SG up to W·K.
+        let base = WordCountConfig {
+            messages_per_source: 30_000,
+            vocabulary: 300,
+            counters: 8,
+            aggregation_period: None, // keep counters resident
+            ..WordCountConfig::default()
+        };
+        let counters_of = |variant| {
+            let cfg = WordCountConfig { variant, ..base.clone() };
+            run(&cfg).final_state("counter")
+        };
+        let kg = counters_of(WordCountVariant::KeyGrouping);
+        let pkg = counters_of(WordCountVariant::PartialKeyGrouping);
+        let sg = counters_of(WordCountVariant::ShuffleGrouping);
+        assert_eq!(kg, 300, "KG keeps exactly one counter per word");
+        assert!(pkg <= 600, "PKG ≤ 2K, got {pkg}");
+        assert!(pkg > kg, "splitting must cost something");
+        assert!(sg > pkg, "SG must exceed PKG (got sg={sg} pkg={pkg})");
+    }
+
+    #[test]
+    fn kg_load_is_more_imbalanced_than_pkg() {
+        let base = WordCountConfig {
+            messages_per_source: 30_000,
+            vocabulary: 2_000,
+            p1: 0.2, // strong skew
+            counters: 6,
+            ..WordCountConfig::default()
+        };
+        let max_load = |variant| {
+            let cfg = WordCountConfig { variant, ..base.clone() };
+            *run(&cfg).loads("counter").iter().max().expect("non-empty")
+        };
+        let kg = max_load(WordCountVariant::KeyGrouping);
+        let pkg = max_load(WordCountVariant::PartialKeyGrouping);
+        assert!(
+            pkg < kg,
+            "PKG max load {pkg} must be below KG {kg} under 20% head skew"
+        );
+    }
+
+    #[test]
+    fn exact_counts_match_stream() {
+        let cfg = WordCountConfig {
+            messages_per_source: 5_000,
+            vocabulary: 100,
+            sources: 2,
+            ..WordCountConfig::default()
+        };
+        let totals = exact_counts(&cfg);
+        assert_eq!(totals.values().sum::<i64>(), 10_000);
+        let top = top_k_of(&totals, 5);
+        assert_eq!(top.len(), 5);
+        assert!(top[0].1 >= top[4].1);
+    }
+}

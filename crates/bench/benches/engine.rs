@@ -1,0 +1,41 @@
+//! End-to-end engine overhead: tuples/second through a no-op word-count
+//! topology (no service delay), per grouping. This bounds the framework
+//! overhead under which the Fig. 5 experiments run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pkg_apps::wordcount::{wordcount_topology, WordCountConfig, WordCountVariant};
+use pkg_engine::Runtime;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_wordcount");
+    let messages = 50_000u64;
+    g.throughput(Throughput::Elements(messages));
+    g.sample_size(10);
+    for variant in [
+        WordCountVariant::KeyGrouping,
+        WordCountVariant::ShuffleGrouping,
+        WordCountVariant::PartialKeyGrouping,
+    ] {
+        g.bench_function(variant.label(), |b| {
+            b.iter(|| {
+                let cfg = WordCountConfig {
+                    variant,
+                    messages_per_source: messages,
+                    vocabulary: 5_000,
+                    counters: 4,
+                    ..WordCountConfig::default()
+                };
+                let (topo, _, _, _) = wordcount_topology(&cfg);
+                black_box(Runtime::new().run(topo).processed("counter"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_engine
+}
+criterion_main!(benches);

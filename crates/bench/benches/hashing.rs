@@ -1,0 +1,62 @@
+//! Micro-benchmarks for the hashing substrate: the per-message routing cost
+//! budget starts here (PKG hashes every key `d` times).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pkg_hash::murmur3::{murmur3_128, murmur3_64_u64};
+use pkg_hash::{FxHasher, HashFamily};
+use std::hash::Hasher;
+
+fn bench_murmur(c: &mut Criterion) {
+    let mut g = c.benchmark_group("murmur3");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("u64_fast_path", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(murmur3_64_u64(k, 42))
+        })
+    });
+    for len in [8usize, 32, 256] {
+        let data = vec![0xabu8; len];
+        g.bench_function(format!("bytes_{len}"), |b| {
+            b.iter(|| black_box(murmur3_128(black_box(&data), 42)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_family");
+    g.throughput(Throughput::Elements(1));
+    for d in [1usize, 2, 4] {
+        let fam = HashFamily::new(d, 7);
+        let mut buf = [0usize; 16];
+        g.bench_function(format!("choices_d{d}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(fam.choices_into(&k, 50, &mut buf).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fx(c: &mut Criterion) {
+    c.bench_function("fxhash_u64", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            black_box(h.finish())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_murmur, bench_family, bench_fx
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Routing throughput of every partitioning scheme on a skewed stream.
+//!
+//! PKG's pitch includes being cheap: stateless hashing plus a `d`-way argmin
+//! per message. These benches verify the routing hot path stays within a few
+//! tens of nanoseconds and quantify the cost of the routing-table baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pkg_core::{EstimateKind, SchemeSpec, SharedLoads};
+use pkg_datagen::DatasetProfile;
+
+fn keys(n: usize) -> Vec<u64> {
+    DatasetProfile::lognormal1()
+        .with_messages(n as u64)
+        .with_keys(10_000)
+        .build(1)
+        .iter(2)
+        .map(|m| m.key)
+        .collect()
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let stream = keys(100_000);
+    let mut g = c.benchmark_group("route");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    let schemes: Vec<(&str, SchemeSpec)> = vec![
+        ("key_grouping", SchemeSpec::KeyGrouping),
+        ("shuffle", SchemeSpec::ShuffleGrouping),
+        ("pkg_d2_local", SchemeSpec::pkg(EstimateKind::Local)),
+        ("pkg_d4_local", SchemeSpec::Pkg { d: 4, estimate: EstimateKind::Local }),
+        ("pkg_d2_global", SchemeSpec::pkg(EstimateKind::Global)),
+        ("static_potc", SchemeSpec::StaticPotc { estimate: EstimateKind::Local }),
+        ("on_greedy", SchemeSpec::OnGreedy { estimate: EstimateKind::Local }),
+    ];
+    for (name, spec) in schemes {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let shared = SharedLoads::new(50);
+                    spec.build(50, 42, 0, &shared, None)
+                },
+                |mut p| {
+                    let mut acc = 0usize;
+                    for (t, &k) in stream.iter().enumerate() {
+                        acc = acc.wrapping_add(p.route(k, t as u64));
+                    }
+                    black_box(acc)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Sketch substrates: SpaceSaving updates/merges, BH histogram
+//! updates/merges/queries — the per-event costs of the §VI applications.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pkg_apps::{BhHistogram, SpaceSaving};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_spacesaving(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spacesaving");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let stream: Vec<u64> = (0..100_000)
+        .map(|_| {
+            let r: f64 = rng.random();
+            ((1.0 / r.max(1e-9)) as u64).min(50_000)
+        })
+        .collect();
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("offer_100k_k1000", |b| {
+        b.iter(|| {
+            let mut ss = SpaceSaving::new(1_000);
+            for &k in &stream {
+                ss.offer(k, 1);
+            }
+            black_box(ss.min_count())
+        })
+    });
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("merge_k1000", |b| {
+        let mut a = SpaceSaving::new(1_000);
+        let mut d = SpaceSaving::new(1_000);
+        for (i, &k) in stream.iter().enumerate() {
+            if i % 2 == 0 {
+                a.offer(k, 1)
+            } else {
+                d.offer(k, 1)
+            }
+        }
+        b.iter(|| black_box(a.merge(&d).total()))
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bh_histogram");
+    let mut rng = SmallRng::seed_from_u64(2);
+    let points: Vec<f64> = (0..50_000).map(|_| rng.random::<f64>() * 100.0).collect();
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("update_50k_b64", |b| {
+        b.iter(|| {
+            let mut h = BhHistogram::new(64);
+            for &x in &points {
+                h.update(x);
+            }
+            black_box(h.total())
+        })
+    });
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sum_query", |b| {
+        let mut h = BhHistogram::new(64);
+        for &x in &points {
+            h.update(x);
+        }
+        let mut q = 0.0f64;
+        b.iter(|| {
+            q = (q + 7.3) % 100.0;
+            black_box(h.sum(q))
+        })
+    });
+    g.bench_function("uniform_candidates", |b| {
+        let mut h = BhHistogram::new(64);
+        for &x in &points {
+            h.update(x);
+        }
+        b.iter(|| black_box(h.uniform(10).len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_spacesaving, bench_histogram
+}
+criterion_main!(benches);

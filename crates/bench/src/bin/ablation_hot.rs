@@ -1,0 +1,72 @@
+//! **Ablation: beyond two choices** — the extension answering the paper's
+//! closing question ("Is it possible to achieve good load balance \[when\]
+//! the number of workers surpasses the O(1/p1) limit?").
+//!
+//! Table II shows every scheme collapsing at W = 50/100 on WP: the hottest
+//! key alone overloads any *pair* of workers. [`pkg_core::HotAwarePkg`]
+//! gives only the locally-detected head keys more choices (`d_hot = W` is
+//! "W-Choices"). This driver reruns the WP column sweep with plain PKG,
+//! D-Choices (d_hot = 5) and W-Choices, and reports both the imbalance and
+//! the replication cost — showing the collapse disappears for a constant
+//! extra replication.
+
+use pkg_bench::{scaled, seed, TextTable, WORKER_GRID};
+use pkg_core::{Estimate, HotAwarePkg, PartialKeyGrouping, Partitioner, ReplicationTracker};
+use pkg_datagen::DatasetProfile;
+use pkg_metrics::imbalance;
+
+fn run(p: &mut dyn Partitioner, spec: &pkg_datagen::StreamSpec, seed: u64) -> (f64, f64, u32) {
+    let mut loads = vec![0u64; p.n()];
+    let mut rep = ReplicationTracker::new();
+    let mut m = 0u64;
+    for msg in spec.iter(seed) {
+        let w = p.route(msg.key, msg.ts_ms);
+        loads[w] += 1;
+        rep.record(msg.key, w);
+        m += 1;
+    }
+    (imbalance(&loads) / m as f64, rep.avg_replication(), rep.max_replication())
+}
+
+fn main() {
+    let profile = scaled(DatasetProfile::wikipedia()).scale(0.4);
+    let spec = profile.build(seed());
+    let mut out = String::from(
+        "# Ablation: plain PKG vs hot-aware D-Choices/W-Choices on WP as W grows\n",
+    );
+    out.push_str(&format!("# scale={} seed={} messages={}\n", pkg_bench::scale(), seed(), spec.messages()));
+    let mut table = TextTable::new();
+    table.row(["scheme", "W", "imbalance_fraction", "avg_replication", "max_replication"]);
+    for &w in &WORKER_GRID {
+        let theta = 0.2 / w as f64; // keys hotter than 1/(5W) get extra choices
+        let mut schemes: Vec<(String, Box<dyn Partitioner>)> = vec![
+            (
+                "PKG".into(),
+                Box::new(PartialKeyGrouping::new(w, 2, Estimate::local(w), seed())),
+            ),
+            (
+                "D-Choices(5)".into(),
+                Box::new(HotAwarePkg::new(w, Estimate::local(w), theta, 5, seed())),
+            ),
+            (
+                "W-Choices".into(),
+                Box::new(HotAwarePkg::new(w, Estimate::local(w), theta, w.max(2), seed())),
+            ),
+        ];
+        for (name, p) in schemes.iter_mut() {
+            let (frac, avg_rep, max_rep) = run(p.as_mut(), &spec, seed());
+            table.row([
+                name.clone(),
+                format!("{w}"),
+                format!("{frac:.3e}"),
+                format!("{avg_rep:.3}"),
+                format!("{max_rep}"),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str("\n# expectation: plain PKG collapses once W > 2/p1 ≈ 21; the hot-aware\n");
+    out.push_str("# variants keep the fraction low with avg replication still ≈ 1-2\n");
+    out.push_str("# (only the few head keys fan out wider).\n");
+    pkg_bench::emit("ablation_hot.tsv", &out);
+}

@@ -1,0 +1,31 @@
+//! Calibration utility: the log-normal profiles' head probability is a
+//! random function of the weight draw (the max of K heavy-tailed weights
+//! has enormous variance). The paper's Table I reports one concrete draw
+//! (LN1 p1 = 14.71%, LN2 p1 = 7.01%); this tool scans weight seeds for the
+//! draw closest to those values. The winning seeds are pinned inside
+//! `pkg_datagen::profiles` so that the default datasets match Table I.
+
+use pkg_datagen::lognormal;
+
+fn best_seed(k: u64, mu: f64, sigma: f64, target_p1: f64, tries: u64) -> (u64, f64) {
+    let mut best = (0u64, f64::INFINITY, 0.0f64);
+    for seed in 0..tries {
+        let w = lognormal::weights(k, mu, sigma, seed);
+        let total: f64 = w.iter().sum();
+        let p1 = w[0] / total;
+        let err = (p1 - target_p1).abs();
+        if err < best.1 {
+            best = (seed, err, p1);
+        }
+    }
+    (best.0, best.2)
+}
+
+fn main() {
+    let tries: u64 =
+        std::env::var("PKG_CALIBRATE_TRIES").ok().and_then(|s| s.parse().ok()).unwrap_or(400);
+    let (s1, p1) = best_seed(16_000, 1.789, 2.366, 0.1471, tries);
+    println!("LN1: weight_seed={s1} achieves p1={:.4} (target 0.1471)", p1);
+    let (s2, p2) = best_seed(1_100, 2.245, 1.133, 0.0701, tries);
+    println!("LN2: weight_seed={s2} achieves p1={:.4} (target 0.0701)", p2);
+}

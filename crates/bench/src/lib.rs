@@ -1,0 +1,142 @@
+//! Shared infrastructure for the experiment drivers.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! (`table1`, `table2`, `fig2` … `fig5b`, plus ablations); this library
+//! holds what they share: output handling, the experiment scale knob, and
+//! the worker/source grids of §V.
+//!
+//! Environment knobs:
+//! * `PKG_SCALE` — float multiplier on dataset sizes (default 1.0; the
+//!   defaults are already laptop-scaled, see `pkg-datagen`). Use e.g.
+//!   `PKG_SCALE=0.05` for a smoke run.
+//! * `PKG_THREADS` — sweep parallelism (default: available cores).
+//! * `PKG_SEED` — experiment seed (default 42).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Worker grid used throughout §V: `W ∈ {5, 10, 50, 100}`.
+pub const WORKER_GRID: [usize; 4] = [5, 10, 50, 100];
+
+/// Source grid of Fig. 2/4: `S ∈ {5, 10, 15, 20}`.
+pub const SOURCE_GRID: [usize; 4] = [5, 10, 15, 20];
+
+/// The experiment scale factor from `PKG_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("PKG_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// The sweep thread count from `PKG_THREADS`.
+pub fn threads() -> usize {
+    std::env::var("PKG_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(pkg_sim::sweep::default_threads)
+}
+
+/// The experiment seed from `PKG_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("PKG_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Apply the global scale to a profile.
+pub fn scaled(profile: pkg_datagen::DatasetProfile) -> pkg_datagen::DatasetProfile {
+    let s = scale();
+    if (s - 1.0).abs() < f64::EPSILON {
+        profile
+    } else {
+        profile.scale(s)
+    }
+}
+
+/// Where experiment outputs are written (`results/` beside the workspace
+/// root, overridable with `PKG_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("PKG_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    fs::create_dir_all(&p).expect("results dir is creatable");
+    p
+}
+
+/// Write `contents` to `results/<name>` and echo it to stdout.
+pub fn emit(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("results file is writable");
+    println!("{contents}");
+    eprintln!("[written {}]", path.display());
+}
+
+/// A minimal fixed-width table builder for terminal output.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Render with per-column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float the way the paper's tables do: plain for small values,
+/// scientific for large ones (e.g. `1.6e6`).
+pub fn paper_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() < 1_000.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.1e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_num_formats() {
+        assert_eq!(paper_num(0.0), "0");
+        assert_eq!(paper_num(0.8), "0.8");
+        assert_eq!(paper_num(92.7), "92.7");
+        assert_eq!(paper_num(1_600_000.0), "1.6e6");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new();
+        t.row(["a", "bb"]).row(["ccc", "d"]);
+        let r = t.render();
+        assert_eq!(r, "  a  bb\nccc   d\n");
+    }
+}

@@ -1,0 +1,254 @@
+//! Load estimation strategies (Q2 of the evaluation).
+//!
+//! PoTC needs to know worker loads to pick the less-loaded candidate. In a
+//! distributed engine that knowledge is not free; the paper's second
+//! contribution is that **local** estimation suffices: "each source
+//! independently maintains a local load-estimate vector with one element per
+//! worker … as long as each source keeps its own portion of load balanced,
+//! then the overall load on the workers will also be balanced" (§III-B,
+//! correctness from `L_i(t) = Σ_j L_i^j(t)`).
+//!
+//! Three strategies are modeled:
+//! * [`Estimate::Global`] — "G": read the true shared loads (an oracle; in a
+//!   real deployment this would require constant worker→source feedback).
+//! * [`Estimate::Local`] — "L": the paper's proposal; a plain per-source
+//!   vector counting only this source's own traffic.
+//! * [`Estimate::Probing`] — "LP": local, but re-synchronized to the true
+//!   loads every `period_ms` of stream time (the paper shows this buys
+//!   nothing over plain L — our ablation reproduces that).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The true worker loads, shared between the simulation (which maintains
+/// them) and any estimators that are allowed to read them.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLoads {
+    loads: Arc<Vec<AtomicU64>>,
+}
+
+impl SharedLoads {
+    /// Zeroed shared loads for `n` workers.
+    pub fn new(n: usize) -> Self {
+        Self { loads: Arc::new((0..n).map(|_| AtomicU64::new(0)).collect()) }
+    }
+
+    /// Number of workers.
+    pub fn n(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Add one message to worker `w`'s true load.
+    #[inline]
+    pub fn record(&self, w: usize) {
+        self.loads[w].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read worker `w`'s true load.
+    #[inline]
+    pub fn load(&self, w: usize) -> u64 {
+        self.loads[w].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot all loads.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.loads.iter().map(|l| l.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Which estimation strategy to build (used by scheme specifications).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimateKind {
+    /// Per-source local estimation ("L") — the paper's technique.
+    Local,
+    /// Global oracle ("G").
+    Global,
+    /// Local with periodic probing every `period_ms` ("LP").
+    Probing {
+        /// Probe interval in simulated milliseconds.
+        period_ms: u64,
+    },
+}
+
+impl EstimateKind {
+    /// Instantiate for `n` workers against the given true loads.
+    pub fn build(&self, n: usize, shared: &SharedLoads) -> Estimate {
+        match *self {
+            EstimateKind::Local => Estimate::local(n),
+            EstimateKind::Global => Estimate::global(shared.clone()),
+            EstimateKind::Probing { period_ms } => Estimate::probing(shared.clone(), period_ms),
+        }
+    }
+
+    /// Short label used in experiment output ("L", "G", "P1"…).
+    pub fn label(&self) -> String {
+        match *self {
+            EstimateKind::Local => "L".into(),
+            EstimateKind::Global => "G".into(),
+            EstimateKind::Probing { period_ms } => {
+                format!("P{}", period_ms / 60_000) // minutes, like the paper's L5P1
+            }
+        }
+    }
+}
+
+/// A live load estimate held by one source's partitioner.
+#[derive(Debug, Clone)]
+pub enum Estimate {
+    /// Own-traffic-only counters.
+    Local(Vec<u64>),
+    /// Handle to the true loads.
+    Global(SharedLoads),
+    /// Own counters, periodically reset to the true loads.
+    Probing {
+        /// Local estimate vector.
+        local: Vec<u64>,
+        /// The true loads to probe.
+        shared: SharedLoads,
+        /// Probe interval (simulated ms).
+        period_ms: u64,
+        /// Next probe deadline (simulated ms).
+        next_probe_ms: u64,
+    },
+}
+
+impl Estimate {
+    /// Fresh local estimate over `n` workers.
+    pub fn local(n: usize) -> Self {
+        Estimate::Local(vec![0; n])
+    }
+
+    /// Oracle estimate reading the true loads.
+    pub fn global(shared: SharedLoads) -> Self {
+        Estimate::Global(shared)
+    }
+
+    /// Local estimate probing the true loads every `period_ms`.
+    pub fn probing(shared: SharedLoads, period_ms: u64) -> Self {
+        assert!(period_ms > 0, "probe period must be positive");
+        let n = shared.n();
+        Estimate::Probing {
+            local: vec![0; n],
+            shared,
+            period_ms,
+            next_probe_ms: period_ms,
+        }
+    }
+
+    /// Number of workers covered.
+    pub fn n(&self) -> usize {
+        match self {
+            Estimate::Local(v) => v.len(),
+            Estimate::Global(s) => s.n(),
+            Estimate::Probing { local, .. } => local.len(),
+        }
+    }
+
+    /// Estimated load of worker `w` at stream time `ts_ms`.
+    ///
+    /// Probing estimates refresh themselves from the true loads when the
+    /// probe deadline has passed.
+    #[inline]
+    pub fn load(&mut self, w: usize, ts_ms: u64) -> u64 {
+        match self {
+            Estimate::Local(v) => v[w],
+            Estimate::Global(s) => s.load(w),
+            Estimate::Probing { local, shared, period_ms, next_probe_ms } => {
+                if ts_ms >= *next_probe_ms {
+                    for (l, w_id) in local.iter_mut().zip(0..) {
+                        *l = shared.load(w_id);
+                    }
+                    // Skip ahead past any idle gap.
+                    let periods = (ts_ms - *next_probe_ms) / *period_ms + 1;
+                    *next_probe_ms += periods * *period_ms;
+                }
+                local[w]
+            }
+        }
+    }
+
+    /// Account one message routed to worker `w` by *this source*.
+    ///
+    /// Global estimates do nothing here: the true loads are maintained by
+    /// the simulation/engine itself, exactly once per message.
+    #[inline]
+    pub fn record(&mut self, w: usize) {
+        match self {
+            Estimate::Local(v) => v[w] += 1,
+            Estimate::Global(_) => {}
+            Estimate::Probing { local, .. } => local[w] += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_counts_own_traffic_only() {
+        let shared = SharedLoads::new(3);
+        let mut e = Estimate::local(3);
+        e.record(1);
+        e.record(1);
+        shared.record(2); // someone else's traffic
+        assert_eq!(e.load(1, 0), 2);
+        assert_eq!(e.load(2, 0), 0, "local estimate must not see shared loads");
+    }
+
+    #[test]
+    fn global_reads_shared_truth() {
+        let shared = SharedLoads::new(2);
+        let mut e = Estimate::global(shared.clone());
+        shared.record(0);
+        shared.record(0);
+        assert_eq!(e.load(0, 0), 2);
+        e.record(0); // no-op by design
+        assert_eq!(e.load(0, 0), 2);
+    }
+
+    #[test]
+    fn probing_refreshes_at_deadline() {
+        let shared = SharedLoads::new(2);
+        let mut e = Estimate::probing(shared.clone(), 1_000);
+        shared.record(0);
+        shared.record(0);
+        shared.record(0);
+        // Before the first deadline: sees only its own (zero) traffic.
+        assert_eq!(e.load(0, 999), 0);
+        // At the deadline: synchronized with the truth.
+        assert_eq!(e.load(0, 1_000), 3);
+        // Own recordings accumulate on top until the next probe.
+        e.record(0);
+        assert_eq!(e.load(0, 1_500), 4);
+    }
+
+    #[test]
+    fn probing_skips_idle_gaps() {
+        let shared = SharedLoads::new(1);
+        let mut e = Estimate::probing(shared.clone(), 100);
+        shared.record(0);
+        // Far past many periods: a single probe lands us on the truth and
+        // the next deadline is strictly in the future.
+        assert_eq!(e.load(0, 10_050), 1);
+        shared.record(0);
+        assert_eq!(e.load(0, 10_060), 1, "no re-probe before next deadline");
+        assert_eq!(e.load(0, 10_100), 2);
+    }
+
+    #[test]
+    fn shared_loads_snapshot() {
+        let s = SharedLoads::new(3);
+        s.record(0);
+        s.record(2);
+        s.record(2);
+        assert_eq!(s.snapshot(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(EstimateKind::Local.label(), "L");
+        assert_eq!(EstimateKind::Global.label(), "G");
+        assert_eq!(EstimateKind::Probing { period_ms: 60_000 }.label(), "P1");
+    }
+}

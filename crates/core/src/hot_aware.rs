@@ -1,0 +1,328 @@
+//! Hot-key-aware PKG — the extension the paper's conclusion asks for.
+//!
+//! §IV shows PKG's limit: once the number of workers exceeds `O(1/p1)`, the
+//! two candidates of the hottest key saturate and imbalance grows linearly
+//! in `m` *no matter what* two-choice scheme is used (Table II's W = 50/100
+//! columns). The paper's conclusion poses the question of going further;
+//! the authors' follow-up work ("when two choices are not enough") answers
+//! it by giving only the few *head* keys more than two choices. This module
+//! implements that idea:
+//!
+//! * Each source keeps a tiny frequency estimate of its hottest keys (an
+//!   aged count map — purely local, no coordination, constant memory).
+//! * A key whose estimated frequency exceeds `hot_threshold` of the
+//!   source's traffic is routed among `d_hot` candidates (`d_hot = n`
+//!   reproduces "W-Choices": hot keys may go anywhere); all other keys use
+//!   plain PKG with `d = 2`.
+//!
+//! The memory/aggregation overhead stays bounded: only `O(1/hot_threshold)`
+//! keys can ever be hot, so the extra replication is a constant number of
+//! workers regardless of the key-space size.
+
+use pkg_hash::seeded::MAX_CHOICES;
+use pkg_hash::{FxHashMap, HashFamily};
+
+use crate::estimator::Estimate;
+use crate::partitioner::{family, Partitioner};
+
+/// PKG with extra choices for locally-detected hot keys.
+#[derive(Debug, Clone)]
+pub struct HotAwarePkg {
+    family: HashFamily,
+    n: usize,
+    estimate: Estimate,
+    /// Keys with estimated frequency ≥ this fraction of the source's
+    /// traffic get `d_hot` choices.
+    hot_threshold: f64,
+    /// Number of choices for hot keys (`n` = W-Choices, smaller = D-Choices).
+    d_hot: usize,
+    freq: FreqEstimator,
+    buf: [usize; MAX_CHOICES],
+}
+
+impl HotAwarePkg {
+    /// Hot-aware PKG over `n` workers.
+    ///
+    /// `d_hot` is clamped to `n`; hot keys with `d_hot ≥ n` are routed by
+    /// global argmin over all workers (true W-Choices). `hot_threshold`
+    /// must be in `(0, 1]`; the paper-relevant regime is around
+    /// `1/(2n) … 1/n` (a key hotter than that cannot be balanced by two
+    /// workers).
+    pub fn new(
+        n: usize,
+        estimate: Estimate,
+        hot_threshold: f64,
+        d_hot: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert_eq!(estimate.n(), n, "estimate must cover all workers");
+        assert!(hot_threshold > 0.0 && hot_threshold <= 1.0, "threshold must be in (0,1]");
+        assert!(d_hot >= 2, "hot keys need at least the two standard choices");
+        Self {
+            family: family(2, seed),
+            n,
+            estimate,
+            hot_threshold,
+            d_hot: d_hot.min(n),
+            freq: FreqEstimator::new(64.max(2 * (1.0 / hot_threshold).ceil() as usize)),
+            buf: [0; MAX_CHOICES],
+        }
+    }
+
+    /// The candidates used for *hot* keys: the first `d_hot` members of an
+    /// extended hash family (or all workers when `d_hot == n`).
+    fn hot_candidates(&mut self, key: u64) -> &[usize] {
+        if self.d_hot >= self.n {
+            // W-Choices: all workers are candidates; no hashing needed.
+            return &[];
+        }
+        // Derive extra candidates from the base family seeds by re-hashing
+        // with the choice index folded in; the first two coincide with the
+        // standard candidates so cold→hot transitions only *add* workers.
+        self.buf[0] = self.family.choice(0, &key, self.n);
+        self.buf[1] = self.family.choice(1, &key, self.n);
+        for (i, slot) in self.buf.iter_mut().enumerate().take(self.d_hot.min(MAX_CHOICES)).skip(2) {
+            let h = pkg_hash::murmur3::murmur3_64_u64(key, self.family.seeds()[i % 2] ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            *slot = (h % self.n as u64) as usize;
+        }
+        &self.buf[..self.d_hot.min(MAX_CHOICES)]
+    }
+
+    /// Number of keys currently tracked as potentially hot.
+    pub fn tracked_keys(&self) -> usize {
+        self.freq.counts.len()
+    }
+}
+
+impl Partitioner for HotAwarePkg {
+    fn route(&mut self, key: u64, ts_ms: u64) -> usize {
+        let is_hot = self.freq.observe_and_check(key, self.hot_threshold);
+        let w = if is_hot {
+            if self.d_hot >= self.n {
+                // Global argmin (W-Choices).
+                let mut best = 0;
+                let mut best_load = self.estimate.load(0, ts_ms);
+                for c in 1..self.n {
+                    let l = self.estimate.load(c, ts_ms);
+                    if l < best_load {
+                        best = c;
+                        best_load = l;
+                    }
+                }
+                best
+            } else {
+                let cands: Vec<usize> = self.hot_candidates(key).to_vec();
+                let mut best = cands[0];
+                let mut best_load = self.estimate.load(best, ts_ms);
+                for &c in &cands[1..] {
+                    let l = self.estimate.load(c, ts_ms);
+                    if l < best_load {
+                        best = c;
+                        best_load = l;
+                    }
+                }
+                best
+            }
+        } else {
+            let c0 = self.family.choice(0, &key, self.n);
+            let c1 = self.family.choice(1, &key, self.n);
+            if self.estimate.load(c1, ts_ms) < self.estimate.load(c0, ts_ms) {
+                c1
+            } else {
+                c0
+            }
+        };
+        self.estimate.record(w);
+        w
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        if self.d_hot >= self.n {
+            format!("W-Choices(θ={})", self.hot_threshold)
+        } else {
+            format!("D-Choices(d={},θ={})", self.d_hot, self.hot_threshold)
+        }
+    }
+
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        // Conservative: a key *may* have been hot at some point, so report
+        // the full hot candidate set if it is currently tracked hot.
+        if self.freq.is_hot(key, self.hot_threshold) {
+            if self.d_hot >= self.n {
+                (0..self.n).collect()
+            } else {
+                let mut me = self.clone();
+                let mut v = me.hot_candidates(key).to_vec();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        } else {
+            self.family.choices(&key, self.n)
+        }
+    }
+}
+
+/// A constant-memory frequency estimator: an aged count map. When the map
+/// exceeds its capacity, all counts are halved and zeros evicted — hot keys
+/// survive aging, cold ones wash out (a simplified lossy counting).
+#[derive(Debug, Clone)]
+struct FreqEstimator {
+    counts: FxHashMap<u64, u64>,
+    capacity: usize,
+    /// Aged mass (halved together with the counts).
+    total: u64,
+    /// Monotone observation count (drives the warm-up criterion only).
+    seen: u64,
+}
+
+impl FreqEstimator {
+    fn new(capacity: usize) -> Self {
+        Self { counts: FxHashMap::default(), capacity, total: 0, seen: 0 }
+    }
+
+    /// Count one occurrence and report whether the key is hot.
+    ///
+    /// Nothing is hot during the warm-up window (until ~8/θ observations):
+    /// with a tiny sample every first occurrence would trivially clear the
+    /// threshold, and misclassifying cold keys as hot costs replication.
+    #[inline]
+    fn observe_and_check(&mut self, key: u64, threshold: f64) -> bool {
+        self.total += 1;
+        self.seen += 1;
+        let c = {
+            let e = self.counts.entry(key).or_insert(0);
+            *e += 1;
+            *e
+        };
+        if self.counts.len() > self.capacity {
+            self.age();
+        }
+        self.warmed_up(threshold) && (c as f64) >= threshold * self.total as f64
+    }
+
+    /// Enough observations for the threshold to be meaningful.
+    #[inline]
+    fn warmed_up(&self, threshold: f64) -> bool {
+        self.seen as f64 * threshold >= 8.0
+    }
+
+    fn is_hot(&self, key: u64, threshold: f64) -> bool {
+        if !self.warmed_up(threshold) {
+            return false;
+        }
+        match self.counts.get(&key) {
+            Some(&c) => (c as f64) >= threshold * self.total as f64,
+            None => false,
+        }
+    }
+
+    fn age(&mut self) {
+        for v in self.counts.values_mut() {
+            *v /= 2;
+        }
+        self.counts.retain(|_, v| *v > 0);
+        self.total /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkg_metrics::imbalance;
+
+    /// A stream where one key carries `hot_share` of the traffic and the
+    /// rest is spread over many cold keys.
+    fn skewed_loads(p: &mut dyn Partitioner, n: usize, m: u64, hot_share: f64) -> Vec<u64> {
+        let mut loads = vec![0u64; n];
+        let hot_every = (1.0 / hot_share) as u64;
+        for i in 0..m {
+            let key = if i % hot_every == 0 { 0 } else { i + 1 };
+            loads[p.route(key, i)] += 1;
+        }
+        loads
+    }
+
+    #[test]
+    fn beats_plain_pkg_past_the_two_choice_limit() {
+        // One key with 20% of traffic on 50 workers: 2 workers can hold at
+        // most 2/50 = 4% each balanced... the hot key alone forces ~10%
+        // onto its two candidates under plain PKG; W-Choices spreads it.
+        let n = 50;
+        let m = 200_000;
+        let mut plain = crate::pkg::PartialKeyGrouping::new(n, 2, Estimate::local(n), 7);
+        let mut hot =
+            HotAwarePkg::new(n, Estimate::local(n), 0.01, n, 7);
+        let i_plain = imbalance(&skewed_loads(&mut plain, n, m, 0.2));
+        let i_hot = imbalance(&skewed_loads(&mut hot, n, m, 0.2));
+        assert!(
+            i_hot < i_plain / 4.0,
+            "hot-aware {i_hot} must be far below plain PKG {i_plain}"
+        );
+    }
+
+    #[test]
+    fn cold_keys_still_use_two_candidates() {
+        let n = 20;
+        let mut p = HotAwarePkg::new(n, Estimate::local(n), 0.05, n, 1);
+        // A uniform stream: no key ever crosses the threshold, so every
+        // key stays within its two hash candidates.
+        let fam = family(2, 1);
+        for i in 0..10_000u64 {
+            let key = i % 2_000;
+            let w = p.route(key, i);
+            let c0 = fam.choice(0, &key, n);
+            let c1 = fam.choice(1, &key, n);
+            assert!(w == c0 || w == c1, "cold key escaped its candidates");
+        }
+    }
+
+    #[test]
+    fn tracked_keys_stay_bounded() {
+        let n = 10;
+        let mut p = HotAwarePkg::new(n, Estimate::local(n), 0.01, n, 3);
+        for i in 0..100_000u64 {
+            p.route(i, i); // all-distinct keys: worst case for the tracker
+        }
+        assert!(p.tracked_keys() <= 2 * 200 + 1, "tracker grew to {}", p.tracked_keys());
+    }
+
+    #[test]
+    fn d_choices_uses_at_most_d_workers_for_hot_keys() {
+        let n = 40;
+        let d_hot = 6;
+        let mut p = HotAwarePkg::new(n, Estimate::local(n), 0.05, d_hot, 5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50_000u64 {
+            // 30% hot key 0.
+            let key = if i % 10 < 3 { 0 } else { i + 1 };
+            let w = p.route(key, i);
+            if key == 0 {
+                seen.insert(w);
+            }
+        }
+        assert!(
+            seen.len() <= d_hot,
+            "hot key touched {} workers, d_hot = {d_hot}",
+            seen.len()
+        );
+        assert!(seen.len() > 2, "hot key should use more than two workers");
+    }
+
+    #[test]
+    fn w_choices_imbalance_near_shuffle_on_extreme_skew() {
+        // 50% single-key skew on many workers: only W-Choices keeps the
+        // fraction near zero.
+        let n = 30;
+        let m = 100_000;
+        let mut p = HotAwarePkg::new(n, Estimate::local(n), 0.02, n, 9);
+        let loads = skewed_loads(&mut p, n, m, 0.5);
+        let frac = imbalance(&loads) / m as f64;
+        assert!(frac < 0.01, "fraction = {frac}");
+    }
+}

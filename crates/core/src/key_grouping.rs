@@ -1,0 +1,98 @@
+//! Hash-based key grouping — the single-choice baseline ("H").
+//!
+//! "The current solution used by all DSPEs to partition a stream with key
+//! grouping corresponds to the single-choice paradigm. The system has access
+//! to a single hash function `H1(k)`. The partitioning of keys into
+//! sub-streams is determined by `P_t(k) = H1(k) mod W`" (§III). We use the
+//! 64-bit Murmur hash, as the paper's experiments do.
+
+use pkg_hash::HashFamily;
+
+use crate::partitioner::{family, Partitioner};
+
+/// Single-choice hash partitioner (`KG`).
+#[derive(Debug, Clone)]
+pub struct KeyGrouping {
+    family: HashFamily,
+    n: usize,
+}
+
+impl KeyGrouping {
+    /// Key grouping over `n` workers with hash functions derived from
+    /// `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "need at least one worker");
+        Self { family: family(1, seed), n }
+    }
+}
+
+impl Partitioner for KeyGrouping {
+    #[inline]
+    fn route(&mut self, key: u64, _ts_ms: u64) -> usize {
+        self.family.choice(0, &key, self.n)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        "KeyGrouping".into()
+    }
+
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        vec![self.family.choice(0, &key, self.n)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_worker_always() {
+        let mut kg = KeyGrouping::new(7, 1);
+        let w = kg.route(99, 0);
+        for t in 1..1000 {
+            assert_eq!(kg.route(99, t), w);
+        }
+        assert_eq!(kg.candidates(99), vec![w]);
+    }
+
+    #[test]
+    fn statelessness_across_instances() {
+        // Two sources with the same seed route identically — KG needs no
+        // coordination (the property the paper starts from).
+        let mut a = KeyGrouping::new(16, 9);
+        let mut b = KeyGrouping::new(16, 9);
+        for k in 0..500u64 {
+            assert_eq!(a.route(k, 0), b.route(k, 0));
+        }
+    }
+
+    #[test]
+    fn spreads_keys_roughly_uniformly() {
+        let mut kg = KeyGrouping::new(10, 2);
+        let mut counts = [0u64; 10];
+        for k in 0..100_000u64 {
+            counts[kg.route(k, 0)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count = {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_stream_overloads_head_worker() {
+        // The motivating pathology: a key with probability p1 pins p1·m
+        // messages on one worker regardless of n.
+        let mut kg = KeyGrouping::new(100, 3);
+        let mut loads = [0u64; 100];
+        for i in 0..10_000u64 {
+            let key = if i % 10 == 0 { 0 } else { i }; // p1 = 10%
+            loads[kg.route(key, 0)] += 1;
+        }
+        let max = *loads.iter().max().expect("non-empty");
+        assert!(max >= 1_000, "head worker load = {max}");
+    }
+}

@@ -1,0 +1,59 @@
+//! # Partial Key Grouping — core partitioners
+//!
+//! This crate implements the paper's contribution and every baseline it is
+//! evaluated against:
+//!
+//! | Type | Paper name | Section |
+//! |------|-----------|---------|
+//! | [`KeyGrouping`] | KG / Hashing ("H") | §II-A, Table II |
+//! | [`ShuffleGrouping`] | SG | §II-A |
+//! | [`PartialKeyGrouping`] | PKG (PoTC + key splitting), the Greedy-`d` process | §III, §IV |
+//! | [`StaticPotc`] | PoTC without key splitting | §III-A, Table II |
+//! | [`OnlineGreedy`] | On-Greedy | §V (Q1) |
+//! | [`OfflineGreedy`] | Off-Greedy | §V (Q1) |
+//!
+//! and the three load-estimation strategies of Q2 as [`estimator::Estimate`]:
+//! global oracle ("G"), per-source local estimation ("L", the paper's
+//! proposal), and local estimation with periodic probing ("LP").
+//!
+//! All partitioners implement the [`Partitioner`] trait over 64-bit key
+//! identifiers (byte-string keys are fingerprinted via
+//! [`pkg_hash::StreamKey::key_id`]; the engine crate does this at its edge).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pkg_core::{Partitioner, PartialKeyGrouping, estimator::Estimate};
+//!
+//! let workers = 8;
+//! // PKG with d = 2 choices and local load estimation — the paper's setup.
+//! let mut pkg = PartialKeyGrouping::new(workers, 2, Estimate::local(workers), 42);
+//! let w = pkg.route(12345, 0);
+//! assert!(w < workers);
+//! // A key's messages may go to *both* of its two candidates (key
+//! // splitting), but never anywhere else:
+//! let cands = pkg.candidates(12345);
+//! for t in 0..100 {
+//!     assert!(cands.contains(&pkg.route(12345, t)));
+//! }
+//! ```
+
+pub mod estimator;
+pub mod greedy;
+pub mod hot_aware;
+pub mod key_grouping;
+pub mod partitioner;
+pub mod pkg;
+pub mod potc;
+pub mod replication;
+pub mod shuffle;
+
+pub use estimator::{Estimate, EstimateKind, SharedLoads};
+pub use greedy::{KeyFrequencies, OfflineGreedy, OnlineGreedy};
+pub use hot_aware::HotAwarePkg;
+pub use key_grouping::KeyGrouping;
+pub use partitioner::{Partitioner, SchemeSpec};
+pub use pkg::PartialKeyGrouping;
+pub use potc::StaticPotc;
+pub use replication::ReplicationTracker;
+pub use shuffle::ShuffleGrouping;

@@ -1,0 +1,189 @@
+//! The [`Partitioner`] trait and buildable scheme specifications.
+
+use pkg_hash::HashFamily;
+
+use crate::estimator::{EstimateKind, SharedLoads};
+use crate::greedy::{KeyFrequencies, OfflineGreedy, OnlineGreedy};
+use crate::key_grouping::KeyGrouping;
+use crate::pkg::PartialKeyGrouping;
+use crate::potc::StaticPotc;
+use crate::shuffle::ShuffleGrouping;
+
+/// A stream partitioning function `P_t : K → [n]` (§II of the paper).
+///
+/// `route` may depend on the partitioner's mutable state (load estimates,
+/// routing tables, round-robin counters) and on the stream time `ts_ms`
+/// (probing estimators); decisions are irrevocable.
+pub trait Partitioner: Send {
+    /// Route a message with key `key` arriving at stream time `ts_ms`;
+    /// returns the worker index in `[0, n)`.
+    fn route(&mut self, key: u64, ts_ms: u64) -> usize;
+
+    /// Number of downstream workers.
+    fn n(&self) -> usize;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> String;
+
+    /// The workers that may ever receive this key (used by applications for
+    /// query routing: PKG probes exactly two workers, KG one, SG all).
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        let _ = key;
+        (0..self.n()).collect()
+    }
+}
+
+/// A buildable description of a partitioning scheme, used by experiment
+/// sweeps. One spec is instantiated once *per source* (each source gets its
+/// own partitioner state — that is what makes local estimation "local"),
+/// but all instances share the hash-function seeds, so every source agrees
+/// on each key's candidate workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemeSpec {
+    /// Hash-based key grouping ("H" in the figures; the KG baseline).
+    KeyGrouping,
+    /// Round-robin shuffle grouping (SG).
+    ShuffleGrouping,
+    /// Partial key grouping: the Greedy-`d` process with key splitting.
+    Pkg {
+        /// Number of hash choices (the paper studies and recommends 2).
+        d: usize,
+        /// Load estimation strategy.
+        estimate: EstimateKind,
+    },
+    /// Power of two choices *without* key splitting (routing-table PoTC).
+    StaticPotc {
+        /// Load estimation strategy used when a key is first routed.
+        estimate: EstimateKind,
+    },
+    /// On-Greedy: each new key goes to the currently least-loaded worker.
+    OnGreedy {
+        /// Load estimation strategy consulted on first sight of a key.
+        estimate: EstimateKind,
+    },
+    /// Off-Greedy: offline LPT assignment from full key frequencies.
+    OffGreedy,
+}
+
+impl SchemeSpec {
+    /// PKG with two choices and the given estimation strategy — the paper's
+    /// recommended configuration.
+    pub fn pkg(estimate: EstimateKind) -> Self {
+        SchemeSpec::Pkg { d: 2, estimate }
+    }
+
+    /// Whether this scheme needs the full key-frequency histogram
+    /// (only Off-Greedy does; sweeps precompute it on demand).
+    pub fn needs_frequencies(&self) -> bool {
+        matches!(self, SchemeSpec::OffGreedy)
+    }
+
+    /// Short label for experiment tables ("H", "PKG", "PoTC", …).
+    pub fn label(&self) -> String {
+        match self {
+            SchemeSpec::KeyGrouping => "H".into(),
+            SchemeSpec::ShuffleGrouping => "SG".into(),
+            SchemeSpec::Pkg { d: 2, estimate } => format!("PKG-{}", estimate.label()),
+            SchemeSpec::Pkg { d, estimate } => format!("PKG{}-{}", d, estimate.label()),
+            SchemeSpec::StaticPotc { .. } => "PoTC".into(),
+            SchemeSpec::OnGreedy { .. } => "On-Greedy".into(),
+            SchemeSpec::OffGreedy => "Off-Greedy".into(),
+        }
+    }
+
+    /// Instantiate a partitioner for one source.
+    ///
+    /// * `n` — number of workers;
+    /// * `seed` — experiment seed (hash functions derive from it, so all
+    ///   sources built with the same seed agree on candidates);
+    /// * `source_index` — used to stagger shuffle grouping's round-robin
+    ///   start so parallel sources do not move in lockstep;
+    /// * `shared` — the true loads (read by Global/Probing estimates);
+    /// * `freqs` — key frequencies, required iff [`Self::needs_frequencies`].
+    pub fn build(
+        &self,
+        n: usize,
+        seed: u64,
+        source_index: usize,
+        shared: &SharedLoads,
+        freqs: Option<&KeyFrequencies>,
+    ) -> Box<dyn Partitioner> {
+        match self {
+            SchemeSpec::KeyGrouping => Box::new(KeyGrouping::new(n, seed)),
+            SchemeSpec::ShuffleGrouping => {
+                Box::new(ShuffleGrouping::with_offset(n, source_index))
+            }
+            SchemeSpec::Pkg { d, estimate } => {
+                Box::new(PartialKeyGrouping::new(n, *d, estimate.build(n, shared), seed))
+            }
+            SchemeSpec::StaticPotc { estimate } => {
+                Box::new(StaticPotc::new(n, estimate.build(n, shared), seed))
+            }
+            SchemeSpec::OnGreedy { estimate } => {
+                Box::new(OnlineGreedy::new(n, estimate.build(n, shared), seed))
+            }
+            SchemeSpec::OffGreedy => {
+                let freqs = freqs.expect("Off-Greedy requires key frequencies");
+                Box::new(OfflineGreedy::new(n, freqs, seed))
+            }
+        }
+    }
+}
+
+/// Shared helper: a `HashFamily` with the conventions used by every
+/// partitioner in this crate (`d` members derived from the experiment seed).
+pub(crate) fn family(d: usize, seed: u64) -> HashFamily {
+    HashFamily::new(d, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchemeSpec::KeyGrouping.label(), "H");
+        assert_eq!(SchemeSpec::pkg(EstimateKind::Local).label(), "PKG-L");
+        assert_eq!(
+            SchemeSpec::Pkg { d: 5, estimate: EstimateKind::Global }.label(),
+            "PKG5-G"
+        );
+        assert_eq!(SchemeSpec::OffGreedy.label(), "Off-Greedy");
+    }
+
+    #[test]
+    fn build_produces_working_partitioners() {
+        let shared = SharedLoads::new(4);
+        for spec in [
+            SchemeSpec::KeyGrouping,
+            SchemeSpec::ShuffleGrouping,
+            SchemeSpec::pkg(EstimateKind::Local),
+            SchemeSpec::pkg(EstimateKind::Global),
+            SchemeSpec::StaticPotc { estimate: EstimateKind::Global },
+            SchemeSpec::OnGreedy { estimate: EstimateKind::Global },
+        ] {
+            let mut p = spec.build(4, 7, 0, &shared, None);
+            for k in 0..100u64 {
+                let w = p.route(k, 0);
+                assert!(w < 4, "{} routed out of range", spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn sources_agree_on_candidates() {
+        let shared = SharedLoads::new(10);
+        let a = SchemeSpec::pkg(EstimateKind::Local).build(10, 3, 0, &shared, None);
+        let b = SchemeSpec::pkg(EstimateKind::Local).build(10, 3, 1, &shared, None);
+        for k in 0..200u64 {
+            assert_eq!(a.candidates(k), b.candidates(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires key frequencies")]
+    fn off_greedy_without_frequencies_panics() {
+        let shared = SharedLoads::new(2);
+        let _ = SchemeSpec::OffGreedy.build(2, 0, 0, &shared, None);
+    }
+}

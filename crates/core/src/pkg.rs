@@ -1,0 +1,213 @@
+//! PARTIAL KEY GROUPING — the paper's contribution (§III).
+//!
+//! PKG combines the power of two choices with two techniques that make it
+//! practical in a distributed streaming setting:
+//!
+//! * **Key splitting** (§III-A): rather than fixing each key to one of its
+//!   two hash candidates (which would require a routing table and
+//!   coordination among sources), *every* message independently goes to the
+//!   currently less-loaded candidate. A key's state is split over at most
+//!   two workers — hence "partial" key grouping.
+//! * **Local load estimation** (§III-B): the load consulted is whatever the
+//!   [`Estimate`] provides — each source's own traffic by default.
+//!
+//! Formally this is the *Greedy-d* process of §IV: on the `t`-th message
+//! with key `k`, route to `argmin_{i ∈ {H1(k)..Hd(k)}} L_i(t)`. With `d = 1`
+//! it degenerates to key grouping, with `d ≫ n ln n` to shuffle grouping;
+//! the paper proves `I(m) = O(m/n)` for `d ≥ 2` versus
+//! `O(m/n · ln n / ln ln n)` for `d = 1` (Theorem 4.1).
+
+use pkg_hash::seeded::MAX_CHOICES;
+use pkg_hash::HashFamily;
+
+use crate::estimator::Estimate;
+use crate::partitioner::{family, Partitioner};
+
+/// The Greedy-`d` partitioner with key splitting (PKG when `d = 2`).
+#[derive(Debug, Clone)]
+pub struct PartialKeyGrouping {
+    family: HashFamily,
+    n: usize,
+    estimate: Estimate,
+    buf: [usize; MAX_CHOICES],
+}
+
+impl PartialKeyGrouping {
+    /// PKG over `n` workers with `d` choices (`1 ≤ d ≤ 16`; the paper
+    /// recommends 2) and the given load-estimation strategy.
+    pub fn new(n: usize, d: usize, estimate: Estimate, seed: u64) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert_eq!(estimate.n(), n, "estimate must cover all workers");
+        Self { family: family(d, seed), n, estimate, buf: [0; MAX_CHOICES] }
+    }
+
+    /// Number of choices `d`.
+    pub fn d(&self) -> usize {
+        self.family.d()
+    }
+
+    /// Read access to the live load estimate (for tests/diagnostics).
+    pub fn estimate(&self) -> &Estimate {
+        &self.estimate
+    }
+}
+
+impl Partitioner for PartialKeyGrouping {
+    #[inline]
+    fn route(&mut self, key: u64, ts_ms: u64) -> usize {
+        let d = self.family.d();
+        // Compute the d candidates without allocating.
+        for i in 0..d {
+            self.buf[i] = self.family.choice(i, &key, self.n);
+        }
+        // Pick the candidate with the smallest estimated load; ties break
+        // toward the earlier hash function (deterministic).
+        let mut best = self.buf[0];
+        let mut best_load = self.estimate.load(best, ts_ms);
+        for &c in &self.buf[1..d] {
+            let l = self.estimate.load(c, ts_ms);
+            if l < best_load {
+                best = c;
+                best_load = l;
+            }
+        }
+        self.estimate.record(best);
+        best
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        format!("PartialKeyGrouping(d={})", self.family.d())
+    }
+
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        self.family.choices(&key, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkg(n: usize, d: usize, seed: u64) -> PartialKeyGrouping {
+        PartialKeyGrouping::new(n, d, Estimate::local(n), seed)
+    }
+
+    #[test]
+    fn routes_only_to_candidates() {
+        let mut p = pkg(10, 2, 1);
+        for key in 0..200u64 {
+            let cands = p.candidates(key);
+            for t in 0..20 {
+                let w = p.route(key, t);
+                assert!(cands.contains(&w), "key {key} escaped its candidates");
+            }
+        }
+    }
+
+    #[test]
+    fn key_splitting_uses_both_candidates() {
+        // A single hot key must alternate between its two candidates —
+        // that is the whole point of key splitting.
+        let mut p = pkg(10, 2, 2);
+        let key = 7u64;
+        let cands = p.candidates(key);
+        if cands[0] == cands[1] {
+            return; // hash collision: nothing to alternate between
+        }
+        let mut hits = [0u64; 10];
+        for t in 0..1000 {
+            hits[p.route(key, t)] += 1;
+        }
+        assert_eq!(hits[cands[0]] + hits[cands[1]], 1000);
+        assert!((hits[cands[0]] as i64 - hits[cands[1]] as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn d1_equals_key_grouping() {
+        use crate::key_grouping::KeyGrouping;
+        let mut p = pkg(16, 1, 5);
+        let mut kg = KeyGrouping::new(16, 5);
+        for key in 0..500u64 {
+            assert_eq!(p.route(key, 0), kg.route(key, 0));
+        }
+    }
+
+    #[test]
+    fn balances_skewed_stream_far_better_than_hashing() {
+        use crate::key_grouping::KeyGrouping;
+        use pkg_metrics::imbalance;
+
+        let n = 10;
+        let m = 100_000u64;
+        // Zipf-ish synthetic skew: key = i mod 1+i%97 gives heavy repetition
+        // of small keys; simpler: 30% of messages carry key 0.
+        let mut p = pkg(n, 2, 3);
+        let mut kg = KeyGrouping::new(n, 3);
+        let mut loads_pkg = vec![0u64; n];
+        let mut loads_kg = vec![0u64; n];
+        for i in 0..m {
+            let key = if i % 10 < 3 { 0 } else { i };
+            loads_pkg[p.route(key, i)] += 1;
+            loads_kg[kg.route(key, i)] += 1;
+        }
+        let i_pkg = imbalance(&loads_pkg);
+        let i_kg = imbalance(&loads_kg);
+        // KG piles the hot key (30% of m) on one worker: I ≈ 0.3m − m/n.
+        // PKG splits it over two: I ≈ max(0.15m, m/n) − m/n, at least 3x less.
+        assert!(
+            i_pkg < i_kg / 3.0,
+            "PKG imbalance {i_pkg} not ≪ KG imbalance {i_kg}"
+        );
+    }
+
+    #[test]
+    fn more_choices_never_hurt_balance_on_uniform_keys() {
+        use pkg_metrics::imbalance;
+        let n = 50;
+        let m = 200_000u64;
+        let mut frac_by_d = Vec::new();
+        for d in [1usize, 2, 4] {
+            let mut p = pkg(n, d, 11);
+            let mut loads = vec![0u64; n];
+            for i in 0..m {
+                loads[p.route(i % 5_000, i)] += 1; // 5k uniform keys
+            }
+            frac_by_d.push(imbalance(&loads));
+        }
+        // d = 2 is a dramatic improvement over d = 1; d = 4 is at most a
+        // constant-factor refinement (§III: "more than two choices only
+        // brings constant factor improvements").
+        assert!(frac_by_d[1] < frac_by_d[0] / 2.0, "{frac_by_d:?}");
+        assert!(frac_by_d[2] <= frac_by_d[1] * 1.5 + 2.0, "{frac_by_d:?}");
+    }
+
+    #[test]
+    fn global_estimate_coordinates_multiple_sources() {
+        use crate::estimator::SharedLoads;
+        use pkg_metrics::imbalance;
+
+        let n = 8;
+        let shared = SharedLoads::new(n);
+        let mut sources: Vec<PartialKeyGrouping> = (0..4)
+            .map(|_| PartialKeyGrouping::new(n, 2, Estimate::global(shared.clone()), 9))
+            .collect();
+        let mut loads = vec![0u64; n];
+        for i in 0..40_000u64 {
+            let s = (i % 4) as usize;
+            let w = sources[s].route(i % 100, i);
+            shared.record(w);
+            loads[w] += 1;
+        }
+        assert!(imbalance(&loads) < 40_000.0 / n as f64 * 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate must cover")]
+    fn mismatched_estimate_size_panics() {
+        let _ = PartialKeyGrouping::new(4, 2, Estimate::local(3), 0);
+    }
+}

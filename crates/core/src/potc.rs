@@ -1,0 +1,134 @@
+//! Static PoTC — power of two choices *without* key splitting.
+//!
+//! "A naïve application of PoTC to key grouping requires the system to store
+//! a bit of information for each key seen, to keep track of which of the two
+//! choices needs to be used thereafter. This variant is referred to as
+//! static PoTC" (§III-A). It preserves key-grouping semantics (one worker
+//! per key) but needs a per-key routing table — exactly the cost the paper
+//! argues is impractical — and, as Table II shows, it balances far worse
+//! than PKG because a key's placement is frozen at first sight, before its
+//! popularity is known.
+
+use pkg_hash::{FxHashMap, HashFamily};
+
+use crate::estimator::Estimate;
+use crate::partitioner::{family, Partitioner};
+
+/// Routing-table PoTC (the "PoTC" row of Table II).
+#[derive(Debug, Clone)]
+pub struct StaticPotc {
+    family: HashFamily,
+    n: usize,
+    estimate: Estimate,
+    table: FxHashMap<u64, u32>,
+}
+
+impl StaticPotc {
+    /// Static PoTC over `n` workers; the first occurrence of a key picks the
+    /// less-loaded of its two candidates according to `estimate`.
+    pub fn new(n: usize, estimate: Estimate, seed: u64) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert_eq!(estimate.n(), n, "estimate must cover all workers");
+        Self { family: family(2, seed), n, estimate, table: FxHashMap::default() }
+    }
+
+    /// Number of routing-table entries (the state the paper objects to:
+    /// one per distinct key seen).
+    pub fn table_entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl Partitioner for StaticPotc {
+    #[inline]
+    fn route(&mut self, key: u64, ts_ms: u64) -> usize {
+        let w = match self.table.get(&key) {
+            Some(&w) => w as usize,
+            None => {
+                let c0 = self.family.choice(0, &key, self.n);
+                let c1 = self.family.choice(1, &key, self.n);
+                let w = if self.estimate.load(c1, ts_ms) < self.estimate.load(c0, ts_ms) {
+                    c1
+                } else {
+                    c0
+                };
+                self.table.insert(key, w as u32);
+                w
+            }
+        };
+        self.estimate.record(w);
+        w
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        "StaticPoTC".into()
+    }
+
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        self.family.choices(&key, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_sticks_to_first_choice() {
+        let mut p = StaticPotc::new(10, Estimate::local(10), 1);
+        let w = p.route(42, 0);
+        for t in 1..100 {
+            assert_eq!(p.route(42, t), w, "static PoTC must never move a key");
+        }
+        assert_eq!(p.table_entries(), 1);
+    }
+
+    #[test]
+    fn chooses_less_loaded_candidate_at_first_sight() {
+        let mut p = StaticPotc::new(4, Estimate::local(4), 2);
+        let key = 7u64;
+        let cands = p.candidates(key);
+        if cands[0] == cands[1] {
+            return;
+        }
+        // Pre-load the first candidate through other traffic.
+        let mut preloaded = 0;
+        for k in 1000..50_000u64 {
+            if p.route(k, 0) == cands[0] {
+                preloaded += 1;
+            }
+            if preloaded > 1000 {
+                break;
+            }
+        }
+        let l0 = match p.estimate { Estimate::Local(ref v) => v[cands[0]], _ => unreachable!() };
+        let l1 = match p.estimate { Estimate::Local(ref v) => v[cands[1]], _ => unreachable!() };
+        let w = p.route(key, 0);
+        let expected = if l1 < l0 { cands[1] } else { cands[0] };
+        assert_eq!(w, expected);
+    }
+
+    #[test]
+    fn hot_key_still_overloads_one_worker() {
+        // The defining weakness vs PKG: a single hot key cannot be split.
+        let mut p = StaticPotc::new(10, Estimate::local(10), 3);
+        let mut loads = [0u64; 10];
+        for t in 0..10_000 {
+            loads[p.route(0, t)] += 1;
+        }
+        assert_eq!(loads.iter().filter(|&&l| l > 0).count(), 1);
+    }
+
+    #[test]
+    fn table_grows_with_distinct_keys_only() {
+        let mut p = StaticPotc::new(8, Estimate::local(8), 4);
+        for t in 0..1_000 {
+            p.route(t % 50, t);
+        }
+        assert_eq!(p.table_entries(), 50);
+    }
+}

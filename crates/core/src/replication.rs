@@ -1,0 +1,129 @@
+//! Key-replication accounting — the memory-overhead axis of the paper.
+//!
+//! §III's example: with `K` distinct keys, key grouping keeps `K` counters,
+//! PKG at most `2K` ("the memory to store its state is just a constant
+//! factor higher"), and shuffle grouping up to `W·K` ("the memory usage of
+//! the application grows linearly with the parallelism level"). This tracker
+//! measures exactly that quantity — the number of distinct (key, worker)
+//! pairs — for any partitioner, using one bitmask per key (experiments use
+//! at most 128 workers).
+
+use pkg_hash::FxHashMap;
+
+/// Tracks which workers have seen each key.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationTracker {
+    seen: FxHashMap<u64, u128>,
+}
+
+/// Maximum worker count supported by the bitmask representation.
+pub const MAX_TRACKED_WORKERS: usize = 128;
+
+impl ReplicationTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `key` was routed to worker `w`.
+    ///
+    /// # Panics
+    /// Panics if `w ≥ 128`.
+    #[inline]
+    pub fn record(&mut self, key: u64, w: usize) {
+        assert!(w < MAX_TRACKED_WORKERS, "replication tracker supports < 128 workers");
+        *self.seen.entry(key).or_insert(0) |= 1u128 << w;
+    }
+
+    /// Number of distinct keys observed.
+    pub fn distinct_keys(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Total distinct (key, worker) pairs — the "counters" a stateful
+    /// word-count-like operator would hold.
+    pub fn total_pairs(&self) -> u64 {
+        self.seen.values().map(|m| u64::from(m.count_ones())).sum()
+    }
+
+    /// Mean number of workers per key (1.0 for KG, ≤ 2.0 for PKG, up to `W`
+    /// for SG).
+    pub fn avg_replication(&self) -> f64 {
+        if self.seen.is_empty() {
+            0.0
+        } else {
+            self.total_pairs() as f64 / self.seen.len() as f64
+        }
+    }
+
+    /// Maximum number of workers any single key reached.
+    pub fn max_replication(&self) -> u32 {
+        self.seen.values().map(|m| m.count_ones()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::Estimate;
+    use crate::key_grouping::KeyGrouping;
+    use crate::partitioner::Partitioner;
+    use crate::pkg::PartialKeyGrouping;
+    use crate::shuffle::ShuffleGrouping;
+
+    #[test]
+    fn counts_pairs_once() {
+        let mut t = ReplicationTracker::new();
+        t.record(1, 0);
+        t.record(1, 0);
+        t.record(1, 3);
+        t.record(2, 5);
+        assert_eq!(t.distinct_keys(), 2);
+        assert_eq!(t.total_pairs(), 3);
+        assert!((t.avg_replication() - 1.5).abs() < 1e-12);
+        assert_eq!(t.max_replication(), 2);
+    }
+
+    #[test]
+    fn replication_ordering_kg_pkg_sg() {
+        // The §III memory claim, measured: KG = 1, PKG ≤ 2, SG → W.
+        let n = 10;
+        // 501 is coprime with n = 10, so round-robin's stride rotates each
+        // key across all workers over the repetitions (with a multiple of n
+        // the strides would align and hide SG's replication).
+        let keys = 501u64;
+        let reps = 40u64; // each key appears 40 times
+        let mut kg = KeyGrouping::new(n, 1);
+        let mut pkg = PartialKeyGrouping::new(n, 2, Estimate::local(n), 1);
+        let mut sg = ShuffleGrouping::new(n);
+        let (mut tk, mut tp, mut ts) =
+            (ReplicationTracker::new(), ReplicationTracker::new(), ReplicationTracker::new());
+        for r in 0..reps {
+            for k in 0..keys {
+                tk.record(k, kg.route(k, r));
+                tp.record(k, pkg.route(k, r));
+                ts.record(k, sg.route(k, r));
+            }
+        }
+        assert_eq!(tk.avg_replication(), 1.0);
+        assert!(tp.avg_replication() <= 2.0);
+        assert!(tp.max_replication() <= 2);
+        // With 40 repetitions over 10 workers, round-robin touches them all.
+        assert!(ts.avg_replication() > 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports < 128")]
+    fn worker_129_panics() {
+        let mut t = ReplicationTracker::new();
+        t.record(0, 128);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let t = ReplicationTracker::new();
+        assert_eq!(t.avg_replication(), 0.0);
+        assert_eq!(t.max_replication(), 0);
+        assert_eq!(t.total_pairs(), 0);
+    }
+}

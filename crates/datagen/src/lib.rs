@@ -1,0 +1,39 @@
+//! Synthetic workload generators for the Partial Key Grouping reproduction.
+//!
+//! The paper evaluates on eight datasets (Table I): Wikipedia page visits,
+//! Twitter words, Twitter cashtags (with popularity drift), two log-normal
+//! synthetic streams with Orkut-fitted parameters, and three social graphs
+//! (LiveJournal, two Slashdot snapshots). None of those raw datasets are
+//! redistributable, so this crate synthesizes streams that match the
+//! *published statistics* the balance behaviour depends on — number of
+//! messages, number of keys, and the probability `p1` of the most frequent
+//! key — using the generative models the paper itself names (Zipf for web
+//! workloads, log-normal for social-network workloads, preferential
+//! attachment for graphs). See `DESIGN.md` §4 for the substitution argument.
+//!
+//! Entry point: [`profiles::DatasetProfile`] — e.g.
+//! [`profiles::DatasetProfile::wikipedia`] — which `build`s into a
+//! [`stream::StreamSpec`] whose `iter(seed)` yields a deterministic
+//! [`stream::Message`] stream.
+//!
+//! ```
+//! use pkg_datagen::profiles::DatasetProfile;
+//!
+//! let spec = DatasetProfile::lognormal1().with_messages(10_000).build(42);
+//! let msgs: Vec<_> = spec.iter(7).collect();
+//! assert_eq!(msgs.len(), 10_000);
+//! // Deterministic: same seed, same stream.
+//! assert!(spec.iter(7).eq(msgs.iter().copied()));
+//! ```
+
+pub mod alias;
+pub mod drift;
+pub mod graph;
+pub mod lognormal;
+pub mod profiles;
+pub mod stream;
+pub mod text;
+pub mod zipf;
+
+pub use profiles::DatasetProfile;
+pub use stream::{Message, StreamSpec};

@@ -1,0 +1,114 @@
+//! Pseudo-text generation for the word-count application (Q4).
+//!
+//! The engine experiments route on *word strings* (as the paper's Storm
+//! deployment does), not on integer ids. [`word_for_rank`] maps a Zipf rank
+//! to a deterministic, unique, pronounceable pseudo-word — rank 0 is the
+//! "the" of the vocabulary — and [`SentenceGen`] emits sentences whose word
+//! frequencies follow the fitted Zipf law.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::ZipfTable;
+
+const CONSONANTS: [char; 14] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
+const VOWELS: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
+
+/// Deterministic unique pseudo-word for a vocabulary rank: the rank is
+/// written in base 70 where each "digit" is a consonant-vowel syllable.
+pub fn word_for_rank(rank: u64) -> String {
+    let base = (CONSONANTS.len() * VOWELS.len()) as u64; // 70 syllables
+    let mut out = String::new();
+    let mut r = rank;
+    loop {
+        let digit = (r % base) as usize;
+        out.push(CONSONANTS[digit / VOWELS.len()]);
+        out.push(VOWELS[digit % VOWELS.len()]);
+        r /= base;
+        if r == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Zipf-distributed sentence generator.
+#[derive(Debug, Clone)]
+pub struct SentenceGen {
+    zipf: ZipfTable,
+    rng: SmallRng,
+    min_words: usize,
+    max_words: usize,
+}
+
+impl SentenceGen {
+    /// Vocabulary of `vocab` words with head probability `p1`, sentences of
+    /// `min_words..=max_words` words.
+    pub fn new(vocab: u64, p1: f64, min_words: usize, max_words: usize, seed: u64) -> Self {
+        assert!(min_words >= 1 && max_words >= min_words);
+        Self {
+            zipf: ZipfTable::with_p1(vocab, p1),
+            rng: SmallRng::seed_from_u64(seed ^ 0x243f_6a88_85a3_08d3),
+            min_words,
+            max_words,
+        }
+    }
+
+    /// Draw one word.
+    pub fn next_word(&mut self) -> String {
+        word_for_rank(self.zipf.sample(&mut self.rng))
+    }
+
+    /// Draw a sentence (space-separated words).
+    pub fn next_sentence(&mut self) -> String {
+        let n = self.rng.random_range(self.min_words..=self.max_words);
+        let mut s = String::new();
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&self.next_word());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_unique_per_rank() {
+        let mut seen = HashSet::new();
+        for r in 0..10_000u64 {
+            assert!(seen.insert(word_for_rank(r)), "collision at rank {r}");
+        }
+    }
+
+    #[test]
+    fn words_are_short_for_small_ranks() {
+        assert_eq!(word_for_rank(0).len(), 2);
+        assert!(word_for_rank(69).len() == 2);
+        assert!(word_for_rank(70).len() == 4);
+    }
+
+    #[test]
+    fn sentences_respect_length_bounds() {
+        let mut g = SentenceGen::new(1_000, 0.1, 3, 8, 1);
+        for _ in 0..100 {
+            let s = g.next_sentence();
+            let n = s.split(' ').count();
+            assert!((3..=8).contains(&n), "sentence had {n} words");
+        }
+    }
+
+    #[test]
+    fn head_word_dominates() {
+        let mut g = SentenceGen::new(100, 0.3, 1, 1, 2);
+        let head = word_for_rank(0);
+        let hits = (0..10_000).filter(|_| g.next_sentence() == head).count();
+        let p = hits as f64 / 10_000.0;
+        assert!((p - 0.3).abs() < 0.03, "head frequency = {p}");
+    }
+}

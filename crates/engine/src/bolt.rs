@@ -1,0 +1,112 @@
+//! Stream operators.
+
+use crate::grouping::{Router, Target};
+use crate::tuple::{Packet, Tuple};
+use crossbeam::channel::Sender;
+use pkg_hash::FxHashMap;
+
+/// A stream operator (Storm's bolt).
+///
+/// Implementations receive tuples one at a time and may emit downstream via
+/// the [`Emitter`]. `tick` fires on the component's configured tick interval
+/// (the aggregation period `T` of the paper's Q4 experiment); `finish` fires
+/// once after the last upstream tuple.
+pub trait Bolt: Send {
+    /// Process one input tuple.
+    fn execute(&mut self, tuple: Tuple, out: &mut Emitter<'_>);
+
+    /// Periodic callback (aggregation flushes). Default: nothing.
+    fn tick(&mut self, out: &mut Emitter<'_>) {
+        let _ = out;
+    }
+
+    /// End-of-stream callback (final flush). Default: nothing.
+    fn finish(&mut self, out: &mut Emitter<'_>) {
+        let _ = out;
+    }
+
+    /// Number of state entries held (counters, histogram bins, …); the
+    /// memory-overhead metric of Fig. 5(b). Default 0 for stateless bolts.
+    fn state_size(&self) -> usize {
+        0
+    }
+}
+
+/// Routes emitted tuples to the downstream edges of the running instance.
+///
+/// Borrowed mutably into [`Bolt::execute`]; the `born_ns` of emitted tuples
+/// is inherited from the input tuple currently being processed (so latency
+/// is end-to-end), or stamped fresh for tick/finish emissions.
+pub struct Emitter<'a> {
+    pub(crate) edges: &'a mut [OutEdge],
+    /// Birth timestamp to inherit (0 = stamp with `now_ns`).
+    pub(crate) inherit_born_ns: u64,
+    pub(crate) now_ns: u64,
+    pub(crate) emitted: &'a mut u64,
+}
+
+/// One outgoing edge of a running instance.
+pub(crate) struct OutEdge {
+    pub(crate) router: Router,
+    pub(crate) txs: Vec<Sender<Packet>>,
+}
+
+impl Emitter<'_> {
+    /// Emit a tuple on every outgoing edge.
+    pub fn emit(&mut self, mut tuple: Tuple) {
+        tuple.born_ns = if self.inherit_born_ns != 0 { self.inherit_born_ns } else { self.now_ns };
+        *self.emitted += 1;
+        let key_id = tuple.key_id();
+        // All but the last edge get clones; the last takes ownership.
+        let n_edges = self.edges.len();
+        if n_edges == 0 {
+            return;
+        }
+        for i in 0..n_edges {
+            let t = if i + 1 == n_edges { std::mem::replace(&mut tuple, Tuple::new(Vec::new(), 0)) } else { tuple.clone() };
+            let edge = &mut self.edges[i];
+            match edge.router.route(key_id) {
+                Target::One(w) => {
+                    // A send fails only if the receiver hung up, which the
+                    // shutdown protocol makes impossible before our Eof.
+                    edge.txs[w].send(Packet::Tuple(t)).expect("downstream alive until Eof");
+                }
+                Target::All => {
+                    for tx in &edge.txs {
+                        tx.send(Packet::Tuple(t.clone())).expect("downstream alive until Eof");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of tuples emitted by this instance so far.
+    pub fn emitted(&self) -> u64 {
+        *self.emitted
+    }
+}
+
+/// A simple counting bolt: accumulates `Σ value` per key. Used by tests and
+/// the quickstart; the word-count application in `pkg-apps` builds richer
+/// variants (flushing partials, top-k tracking).
+#[derive(Debug, Default)]
+pub struct CountingBolt {
+    counts: FxHashMap<Box<[u8]>, i64>,
+}
+
+impl CountingBolt {
+    /// Current count for a key.
+    pub fn count(&self, key: &[u8]) -> i64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+}
+
+impl Bolt for CountingBolt {
+    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
+        *self.counts.entry(tuple.key).or_insert(0) += tuple.value;
+    }
+
+    fn state_size(&self) -> usize {
+        self.counts.len()
+    }
+}

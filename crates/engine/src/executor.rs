@@ -1,0 +1,179 @@
+//! Per-instance executor loops.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use pkg_metrics::LatencyHistogram;
+
+use crate::bolt::{Bolt, Emitter, OutEdge};
+use crate::metrics::InstanceStats;
+use crate::spout::Spout;
+use crate::tuple::Packet;
+
+/// Accumulates state-size samples.
+#[derive(Debug, Default)]
+struct StateSampler {
+    sum: f64,
+    count: u64,
+    max: usize,
+}
+
+impl StateSampler {
+    fn sample(&mut self, size: usize) {
+        self.sum += size as f64;
+        self.count += 1;
+        self.max = self.max.max(size);
+    }
+
+    fn avg(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+fn send_eof(edges: &mut [OutEdge]) {
+    for edge in edges {
+        for tx in &edge.txs {
+            // Downstream may only hang up after receiving Eof from every
+            // sender; if it already did, shutdown is in progress anyway.
+            let _ = tx.send(Packet::Eof);
+        }
+    }
+}
+
+/// Drive a spout until exhaustion; stamps tuples' birth timestamps.
+pub(crate) fn run_spout(
+    component: String,
+    instance: usize,
+    mut spout: Box<dyn Spout>,
+    mut edges: Vec<OutEdge>,
+    epoch: Instant,
+) -> InstanceStats {
+    let mut processed = 0u64;
+    let mut emitted = 0u64;
+    while let Some(tuple) = spout.next() {
+        processed += 1;
+        let now_ns = epoch.elapsed().as_nanos() as u64;
+        let mut em = Emitter {
+            edges: &mut edges,
+            inherit_born_ns: 0,
+            // Guard against a zero elapsed reading: 0 means "stamp me".
+            now_ns: now_ns.max(1),
+            emitted: &mut emitted,
+        };
+        em.emit(tuple);
+    }
+    send_eof(&mut edges);
+    InstanceStats {
+        component,
+        instance,
+        processed,
+        emitted,
+        latency: LatencyHistogram::new(5),
+        final_state: 0,
+        max_state: 0,
+        avg_state: 0.0,
+        ticks: 0,
+    }
+}
+
+/// Drive a bolt until every upstream sender has delivered its Eof.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_bolt(
+    component: String,
+    instance: usize,
+    mut bolt: Box<dyn Bolt>,
+    rx: Receiver<Packet>,
+    mut edges: Vec<OutEdge>,
+    mut eof_remaining: usize,
+    tick_every: Option<Duration>,
+    epoch: Instant,
+) -> InstanceStats {
+    let mut processed = 0u64;
+    let mut emitted = 0u64;
+    let mut ticks = 0u64;
+    let mut latency = LatencyHistogram::new(5);
+    let mut sampler = StateSampler::default();
+    let mut next_tick = tick_every.map(|p| Instant::now() + p);
+
+    loop {
+        let packet = match next_tick {
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    let period = tick_every.expect("deadline implies period");
+                    let now_ns = (epoch.elapsed().as_nanos() as u64).max(1);
+                    // Sample state at its peak, *before* the tick flushes it
+                    // (Fig. 5(b)'s "average memory" is the live counter
+                    // count at aggregation boundaries).
+                    sampler.sample(bolt.state_size());
+                    let mut em = Emitter {
+                        edges: &mut edges,
+                        inherit_born_ns: 0,
+                        now_ns,
+                        emitted: &mut emitted,
+                    };
+                    bolt.tick(&mut em);
+                    ticks += 1;
+                    next_tick = Some(deadline + period);
+                    continue;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(p) => p,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match rx.recv() {
+                Ok(p) => p,
+                Err(_) => break,
+            },
+        };
+        match packet {
+            Packet::Tuple(tuple) => {
+                let now_ns = (epoch.elapsed().as_nanos() as u64).max(1);
+                latency.record(now_ns.saturating_sub(tuple.born_ns));
+                let mut em = Emitter {
+                    edges: &mut edges,
+                    inherit_born_ns: tuple.born_ns,
+                    now_ns,
+                    emitted: &mut emitted,
+                };
+                bolt.execute(tuple, &mut em);
+                processed += 1;
+            }
+            Packet::Eof => {
+                eof_remaining -= 1;
+                if eof_remaining == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Sample peak state, final flush, then propagate shutdown.
+    sampler.sample(bolt.state_size());
+    let final_state = bolt.state_size();
+    {
+        let now_ns = (epoch.elapsed().as_nanos() as u64).max(1);
+        let mut em =
+            Emitter { edges: &mut edges, inherit_born_ns: 0, now_ns, emitted: &mut emitted };
+        bolt.finish(&mut em);
+    }
+    send_eof(&mut edges);
+
+    InstanceStats {
+        component,
+        instance,
+        processed,
+        emitted,
+        latency,
+        final_state,
+        max_state: sampler.max,
+        avg_state: sampler.avg(),
+        ticks,
+    }
+}

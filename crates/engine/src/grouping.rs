@@ -1,0 +1,190 @@
+//! Stream groupings — how an edge partitions tuples among the downstream
+//! instances. These mirror Storm's groupings plus the paper's new primitive.
+
+use pkg_core::{Estimate, HotAwarePkg, PartialKeyGrouping, Partitioner as _};
+
+/// Partitioning strategy of one topology edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Grouping {
+    /// Round-robin (Storm's shuffle grouping).
+    Shuffle,
+    /// Hash on the key (Storm's fields grouping / the paper's KG).
+    Key,
+    /// PARTIAL KEY GROUPING: `d` hash choices, pick the one with the lowest
+    /// locally-estimated load (§III; `d = 2` in the paper).
+    Partial {
+        /// Number of candidate workers per key.
+        d: usize,
+    },
+    /// Hot-aware PKG (the W-Choices extension): keys locally estimated to
+    /// exceed `hot_threshold` of the sender's traffic may use `d_hot`
+    /// candidates; everything else uses plain two-choice PKG. Use when the
+    /// downstream parallelism exceeds `O(1/p1)`.
+    PartialHot {
+        /// Frequency fraction above which a key counts as hot.
+        hot_threshold: f64,
+        /// Choices for hot keys (`usize::MAX` = all instances).
+        d_hot: usize,
+    },
+    /// Everything to instance 0 (Storm's global grouping; used for final
+    /// aggregators).
+    Global,
+    /// Every tuple to every instance.
+    Broadcast,
+}
+
+impl Grouping {
+    /// The paper's PKG with two choices.
+    pub fn partial_key() -> Self {
+        Grouping::Partial { d: 2 }
+    }
+}
+
+/// Where a routed tuple goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// A single downstream instance.
+    One(usize),
+    /// All downstream instances (broadcast).
+    All,
+}
+
+/// Per-sender routing state for one outgoing edge.
+///
+/// Every upstream instance owns its own `Router` — for `Partial` this is
+/// what makes load estimation *local*: the router's estimate counts only the
+/// tuples this sender routed, per §III-B.
+#[derive(Debug)]
+pub struct Router {
+    kind: RouterKind,
+    n: usize,
+}
+
+#[derive(Debug)]
+enum RouterKind {
+    Shuffle { next: usize },
+    Key { seed: u64 },
+    Partial { pkg: PartialKeyGrouping },
+    PartialHot { pkg: HotAwarePkg },
+    Global,
+    Broadcast,
+}
+
+impl Router {
+    /// Build routing state for an edge with `n` downstream instances.
+    ///
+    /// `seed` must be shared by all senders on the edge (so they agree on
+    /// hash candidates); `sender_index` staggers shuffle's round-robin.
+    pub fn new(grouping: &Grouping, n: usize, seed: u64, sender_index: usize) -> Self {
+        assert!(n > 0, "edges need at least one downstream instance");
+        let kind = match grouping {
+            Grouping::Shuffle => RouterKind::Shuffle { next: sender_index % n },
+            Grouping::Key => RouterKind::Key { seed },
+            Grouping::Partial { d } => RouterKind::Partial {
+                pkg: PartialKeyGrouping::new(n, *d, Estimate::local(n), seed),
+            },
+            Grouping::PartialHot { hot_threshold, d_hot } => RouterKind::PartialHot {
+                pkg: HotAwarePkg::new(n, Estimate::local(n), *hot_threshold, (*d_hot).min(n).max(2), seed),
+            },
+            Grouping::Global => RouterKind::Global,
+            Grouping::Broadcast => RouterKind::Broadcast,
+        };
+        Self { kind, n }
+    }
+
+    /// Route a tuple key.
+    #[inline]
+    pub fn route(&mut self, key_id: u64) -> Target {
+        match &mut self.kind {
+            RouterKind::Shuffle { next } => {
+                let t = *next;
+                *next += 1;
+                if *next == self.n {
+                    *next = 0;
+                }
+                Target::One(t)
+            }
+            RouterKind::Key { seed } => {
+                use pkg_hash::StreamKey;
+                Target::One((key_id.hash_seeded(*seed) % self.n as u64) as usize)
+            }
+            RouterKind::Partial { pkg } => Target::One(pkg.route(key_id, 0)),
+            RouterKind::PartialHot { pkg } => Target::One(pkg.route(key_id, 0)),
+            RouterKind::Global => Target::One(0),
+            RouterKind::Broadcast => Target::All,
+        }
+    }
+
+    /// Downstream instance count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_routing_is_consistent_across_senders() {
+        let mut a = Router::new(&Grouping::Key, 8, 7, 0);
+        let mut b = Router::new(&Grouping::Key, 8, 7, 3);
+        for k in 0..100u64 {
+            assert_eq!(a.route(k), b.route(k));
+        }
+    }
+
+    #[test]
+    fn partial_splits_hot_key_over_two_instances() {
+        let mut r = Router::new(&Grouping::partial_key(), 10, 3, 0);
+        let mut hit = std::collections::HashSet::new();
+        for _ in 0..100 {
+            if let Target::One(t) = r.route(42) {
+                hit.insert(t);
+            }
+        }
+        assert!(hit.len() <= 2, "PKG must use at most two instances per key");
+    }
+
+    #[test]
+    fn shuffle_staggers_by_sender() {
+        let mut a = Router::new(&Grouping::Shuffle, 4, 0, 0);
+        let mut b = Router::new(&Grouping::Shuffle, 4, 0, 1);
+        assert_eq!(a.route(0), Target::One(0));
+        assert_eq!(b.route(0), Target::One(1));
+    }
+
+    #[test]
+    fn partial_hot_spreads_extreme_key_past_two() {
+        let n = 16;
+        let mut r = Router::new(
+            &Grouping::PartialHot { hot_threshold: 0.02, d_hot: usize::MAX },
+            n,
+            5,
+            0,
+        );
+        let mut hot_targets = std::collections::HashSet::new();
+        for i in 0..20_000u64 {
+            // 50% of traffic on key 0, rest unique.
+            let key = if i % 2 == 0 { 0 } else { i + 1 };
+            if let Target::One(t) = r.route(key) {
+                if key == 0 {
+                    hot_targets.insert(t);
+                }
+            }
+        }
+        assert!(
+            hot_targets.len() > 2,
+            "hot key stayed on {} instances; W-Choices must widen it",
+            hot_targets.len()
+        );
+    }
+
+    #[test]
+    fn global_always_zero_broadcast_always_all() {
+        let mut g = Router::new(&Grouping::Global, 5, 0, 2);
+        let mut b = Router::new(&Grouping::Broadcast, 5, 0, 2);
+        assert_eq!(g.route(9), Target::One(0));
+        assert_eq!(b.route(9), Target::All);
+    }
+}

@@ -1,0 +1,116 @@
+//! Runtime measurement results.
+
+use std::time::Duration;
+
+use pkg_metrics::LatencyHistogram;
+
+/// Statistics of one component instance, reported when its executor exits.
+#[derive(Debug)]
+pub struct InstanceStats {
+    /// Component name.
+    pub component: String,
+    /// Instance index within the component.
+    pub instance: usize,
+    /// Tuples processed (bolts) or produced (spouts).
+    pub processed: u64,
+    /// Tuples emitted downstream.
+    pub emitted: u64,
+    /// Histogram of input-tuple age at processing time (ns) — end-to-end
+    /// latency when measured at terminal bolts.
+    pub latency: LatencyHistogram,
+    /// [`crate::bolt::Bolt::state_size`] at end of stream, sampled *before*
+    /// the final flush (partial counters drain on finish; this captures the
+    /// state they actually held).
+    pub final_state: usize,
+    /// Maximum observed state size (sampled at every tick and at finish).
+    pub max_state: usize,
+    /// Mean of the state-size samples.
+    pub avg_state: f64,
+    /// Number of ticks fired.
+    pub ticks: u64,
+}
+
+/// Results of one topology run.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Wall-clock time from spawn to full drain.
+    pub wall: Duration,
+    /// All instance statistics.
+    pub instances: Vec<InstanceStats>,
+}
+
+impl RunStats {
+    /// Total tuples processed by a component.
+    pub fn processed(&self, component: &str) -> u64 {
+        self.instances
+            .iter()
+            .filter(|i| i.component == component)
+            .map(|i| i.processed)
+            .sum()
+    }
+
+    /// Total tuples emitted by a component.
+    pub fn emitted(&self, component: &str) -> u64 {
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.emitted).sum()
+    }
+
+    /// Per-instance processed counts of a component (the engine-level load
+    /// vector — its imbalance is the paper's `I(t)` on a live topology).
+    pub fn loads(&self, component: &str) -> Vec<u64> {
+        let mut v: Vec<(usize, u64)> = self
+            .instances
+            .iter()
+            .filter(|i| i.component == component)
+            .map(|i| (i.instance, i.processed))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Throughput of a component in tuples/second over the whole run.
+    pub fn throughput(&self, component: &str) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.processed(component) as f64 / secs
+        }
+    }
+
+    /// Merged latency histogram of a component.
+    pub fn latency(&self, component: &str) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new(5);
+        for i in self.instances.iter().filter(|i| i.component == component) {
+            merged.merge(&i.latency);
+        }
+        merged
+    }
+
+    /// Sum of final state sizes of a component (total live counters).
+    pub fn final_state(&self, component: &str) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.component == component)
+            .map(|i| i.final_state)
+            .sum()
+    }
+
+    /// Sum of per-instance *average* state sizes — the "average memory
+    /// (counters)" axis of Fig. 5(b).
+    pub fn avg_state(&self, component: &str) -> f64 {
+        self.instances
+            .iter()
+            .filter(|i| i.component == component)
+            .map(|i| i.avg_state)
+            .sum()
+    }
+
+    /// Sum of per-instance maximum state sizes.
+    pub fn max_state(&self, component: &str) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.component == component)
+            .map(|i| i.max_state)
+            .sum()
+    }
+}

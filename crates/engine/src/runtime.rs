@@ -1,0 +1,385 @@
+//! Topology execution: one OS thread per instance, bounded channels per
+//! edge, Eof-counting shutdown.
+
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Sender};
+use pkg_hash::murmur3::fmix64;
+
+use crate::bolt::OutEdge;
+use crate::executor::{run_bolt, run_spout};
+use crate::grouping::Router;
+use crate::metrics::{InstanceStats, RunStats};
+use crate::topology::{ComponentKind, Topology};
+use crate::tuple::Packet;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Capacity of each instance's input queue. Small values propagate
+    /// backpressure quickly (an overloaded worker stalls its sources — the
+    /// phenomenon Q4 measures); large values decouple components.
+    pub channel_capacity: usize,
+    /// Seed for edge hash functions.
+    pub seed: u64,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self { channel_capacity: 1_024, seed: 42 }
+    }
+}
+
+/// Executes topologies.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Runtime {
+    opts: RuntimeOptions,
+}
+
+impl Runtime {
+    /// Runtime with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runtime with custom options.
+    pub fn with_options(opts: RuntimeOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Run a topology to completion (all spouts exhausted, all queues
+    /// drained) and return the collected statistics.
+    pub fn run(&self, topology: Topology) -> RunStats {
+        topology.validate();
+        let n_components = topology.components.len();
+
+        // Input channels: one per bolt instance. Spouts have none.
+        let mut txs: Vec<Vec<Option<Sender<Packet>>>> = Vec::with_capacity(n_components);
+        let mut rxs: Vec<Vec<Option<crossbeam::channel::Receiver<Packet>>>> =
+            Vec::with_capacity(n_components);
+        for c in &topology.components {
+            match c.kind {
+                ComponentKind::Spout(_) => {
+                    txs.push(vec![None; 0]);
+                    rxs.push(Vec::new());
+                }
+                ComponentKind::Bolt(_) => {
+                    let mut ct = Vec::with_capacity(c.parallelism);
+                    let mut cr = Vec::with_capacity(c.parallelism);
+                    for _ in 0..c.parallelism {
+                        let (tx, rx) = bounded(self.opts.channel_capacity);
+                        ct.push(Some(tx));
+                        cr.push(Some(rx));
+                    }
+                    txs.push(ct);
+                    rxs.push(cr);
+                }
+            }
+        }
+
+        // Reverse adjacency: outgoing edges of each component, with a stable
+        // per-edge seed so all senders agree on hash candidates.
+        // Edge (from, to): routers built per sender instance.
+        let mut out_edges: Vec<Vec<(usize, crate::grouping::Grouping, u64)>> =
+            vec![Vec::new(); n_components];
+        for (to, c) in topology.components.iter().enumerate() {
+            for (from, grouping) in &c.inputs {
+                let edge_seed = fmix64(self.opts.seed ^ ((from.0 as u64) << 32 | to as u64));
+                out_edges[from.0].push((to, grouping.clone(), edge_seed));
+            }
+        }
+
+        // Upstream sender counts per component (for Eof bookkeeping).
+        let mut upstream_senders = vec![0usize; n_components];
+        for c in topology.components.iter() {
+            let my_index = topology
+                .components
+                .iter()
+                .position(|x| std::ptr::eq(x, c))
+                .expect("component is in its own topology");
+            for (from, _) in &c.inputs {
+                upstream_senders[my_index] += topology.components[from.0].parallelism;
+            }
+        }
+
+        let epoch = Instant::now();
+        let (stats_tx, stats_rx) = crossbeam::channel::unbounded::<InstanceStats>();
+        let mut handles = Vec::new();
+        let mut total_instances = 0usize;
+
+        for (ci, c) in topology.components.iter().enumerate() {
+            // An index loop is clearer here: `i` names the instance and is
+            // threaded into routers, receivers and executor identities.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..c.parallelism {
+                total_instances += 1;
+                // Build this instance's outgoing edges.
+                let edges: Vec<OutEdge> = out_edges[ci]
+                    .iter()
+                    .map(|(to, grouping, edge_seed)| OutEdge {
+                        router: Router::new(
+                            grouping,
+                            topology.components[*to].parallelism,
+                            *edge_seed,
+                            i,
+                        ),
+                        txs: txs[*to]
+                            .iter()
+                            .map(|t| t.as_ref().expect("bolt txs live until spawn").clone())
+                            .collect(),
+                    })
+                    .collect();
+                let name = c.name.clone();
+                let stats_tx = stats_tx.clone();
+                match &c.kind {
+                    ComponentKind::Spout(factory) => {
+                        let spout = factory(i);
+                        handles.push(std::thread::spawn(move || {
+                            let s = run_spout(name, i, spout, edges, epoch);
+                            stats_tx.send(s).expect("stats channel outlives executors");
+                        }));
+                    }
+                    ComponentKind::Bolt(factory) => {
+                        let bolt = factory(i);
+                        let rx = rxs[ci][i].take().expect("each bolt receiver taken once");
+                        let eof = upstream_senders[ci];
+                        let tick = c.tick_every;
+                        handles.push(std::thread::spawn(move || {
+                            let s = run_bolt(name, i, bolt, rx, edges, eof, tick, epoch);
+                            stats_tx.send(s).expect("stats channel outlives executors");
+                        }));
+                    }
+                }
+            }
+        }
+        // Drop the runtime's own sender copies so only executors hold them.
+        drop(txs);
+        drop(stats_tx);
+
+        let mut instances = Vec::with_capacity(total_instances);
+        for _ in 0..total_instances {
+            instances.push(stats_rx.recv().expect("every executor reports"));
+        }
+        for h in handles {
+            h.join().expect("executor threads do not panic");
+        }
+        let wall = epoch.elapsed();
+        instances.sort_by(|a, b| a.component.cmp(&b.component).then(a.instance.cmp(&b.instance)));
+        RunStats { wall, instances }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bolt::{Bolt, CountingBolt, Emitter};
+    use crate::grouping::Grouping;
+    use crate::spout::{spout_from_fn, spout_from_iter};
+    use crate::tuple::Tuple;
+    use std::time::Duration;
+
+    fn word_stream(n: u64, vocab: u64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(format!("w{}", i % vocab).into_bytes(), 1)).collect()
+    }
+
+    #[test]
+    fn single_spout_single_bolt_counts_everything() {
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(5_000, 17)));
+        let _ = t
+            .add_bolt("count", 4, |_| Box::new(CountingBolt::default()))
+            .input(s, Grouping::Key);
+        let stats = Runtime::new().run(t);
+        assert_eq!(stats.processed("src"), 5_000);
+        assert_eq!(stats.processed("count"), 5_000);
+        assert_eq!(stats.loads("count").iter().sum::<u64>(), 5_000);
+    }
+
+    #[test]
+    fn multiple_spout_instances_all_drain() {
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 3, |_| spout_from_iter(word_stream(1_000, 7)));
+        let _ = t
+            .add_bolt("count", 2, |_| Box::new(CountingBolt::default()))
+            .input(s, Grouping::Shuffle);
+        let stats = Runtime::new().run(t);
+        assert_eq!(stats.processed("src"), 3_000);
+        assert_eq!(stats.processed("count"), 3_000);
+        // Shuffle: both instances got work.
+        assert!(stats.loads("count").iter().all(|&l| l > 1_000));
+    }
+
+    #[test]
+    fn key_grouping_sends_each_key_to_one_instance() {
+        // A bolt that re-emits its key; the downstream global bolt verifies
+        // per-key instance exclusivity via distinct value tags.
+        #[derive(Default)]
+        struct TagBolt {
+            me: usize,
+        }
+        impl Bolt for TagBolt {
+            fn execute(&mut self, mut t: Tuple, out: &mut Emitter<'_>) {
+                t.value = self.me as i64;
+                out.emit(t);
+            }
+        }
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 2, |_| spout_from_iter(word_stream(2_000, 11)));
+        let tag = t
+            .add_bolt("tag", 4, |i| Box::new(TagBolt { me: i }))
+            .input(s, Grouping::Key)
+            .id();
+        let _sink = t
+            .add_bolt("sink", 1, |_| Box::new(CollectBolt::default()))
+            .input(tag, Grouping::Global).id();
+
+        #[derive(Default)]
+        struct CollectBolt {
+            seen: std::collections::HashMap<Box<[u8]>, i64>,
+        }
+        impl Bolt for CollectBolt {
+            fn execute(&mut self, t: Tuple, _out: &mut Emitter<'_>) {
+                let prev = self.seen.insert(t.key.clone(), t.value);
+                if let Some(p) = prev {
+                    assert_eq!(p, t.value, "key visited two different tag instances");
+                }
+            }
+        }
+        let stats = Runtime::new().run(t);
+        // 2 spout instances × 2000 tuples each.
+        assert_eq!(stats.processed("sink"), 4_000);
+    }
+
+    #[test]
+    fn partial_grouping_balances_hot_key() {
+        // Find a hot key whose two hash candidates differ under the edge
+        // seed the runtime will derive (seed=9, edge (0 → 1)), so the test
+        // is not at the mercy of a 1-in-n candidate collision.
+        let seed = 9u64;
+        let edge_seed = fmix64(seed ^ 1);
+        let probe = crate::grouping::Router::new(&Grouping::partial_key(), 4, edge_seed, 0);
+        let _ = probe; // candidates are internal; probe via a fresh PKG:
+        let pkg = pkg_core::PartialKeyGrouping::new(4, 2, pkg_core::Estimate::local(4), edge_seed);
+        use pkg_core::Partitioner as _;
+        let hot = (0u64..100)
+            .map(|i| format!("hot{i}"))
+            .find(|k| {
+                let t = Tuple::new(k.clone().into_bytes(), 0);
+                let c = pkg.candidates(t.key_id());
+                c[0] != c[1]
+            })
+            .expect("some key has distinct candidates");
+
+        let mut t = Topology::new();
+        // 60% of tuples share the hot key.
+        let s = t.add_spout("src", 1, move |_| {
+            let hot = hot.clone();
+            let mut i = 0u64;
+            spout_from_fn(move || {
+                i += 1;
+                (i <= 10_000).then(|| {
+                    let k = if i % 10 < 6 { hot.clone() } else { format!("k{i}") };
+                    Tuple::new(k.into_bytes(), 1)
+                })
+            })
+        });
+        let _ = t
+            .add_bolt("count", 4, |_| Box::new(CountingBolt::default()))
+            .input(s, Grouping::partial_key());
+        let stats =
+            Runtime::with_options(RuntimeOptions { channel_capacity: 1024, seed }).run(t);
+        let loads = stats.loads("count");
+        let max = *loads.iter().max().expect("non-empty");
+        // KG would put ≥ 6000 on one instance; PKG splits the hot key over
+        // its two candidates (~3000 each plus background traffic).
+        assert!(max < 5_000, "loads = {loads:?}");
+        assert_eq!(loads.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn ticks_fire_and_finish_flushes() {
+        #[derive(Default)]
+        struct FlushBolt {
+            pending: i64,
+        }
+        impl Bolt for FlushBolt {
+            fn execute(&mut self, t: Tuple, _out: &mut Emitter<'_>) {
+                self.pending += t.value;
+            }
+            fn tick(&mut self, out: &mut Emitter<'_>) {
+                if self.pending > 0 {
+                    out.emit(Tuple::new(b"flush".to_vec(), self.pending));
+                    self.pending = 0;
+                }
+            }
+            fn finish(&mut self, out: &mut Emitter<'_>) {
+                out.emit(Tuple::new(b"flush".to_vec(), self.pending));
+                self.pending = 0;
+            }
+        }
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| {
+            let mut i = 0;
+            spout_from_fn(move || {
+                i += 1;
+                if i > 200 {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+                Some(Tuple::new(b"k".to_vec(), 1))
+            })
+        });
+        let f = t
+            .add_bolt("flush", 1, |_| Box::new(FlushBolt::default()))
+            .input(s, Grouping::Global)
+            .tick_every(Duration::from_millis(5))
+            .id();
+        let _ = t
+            .add_bolt("sum", 1, |_| Box::new(CountingBolt::default()))
+            .input(f, Grouping::Global);
+        let stats = Runtime::new().run(t);
+        // Conservation through flushing: all 200 units arrive at the sink.
+        let sink = stats.instances.iter().find(|i| i.component == "sum").expect("sink exists");
+        assert_eq!(sink.processed, stats.emitted("flush"));
+        let flusher =
+            stats.instances.iter().find(|i| i.component == "flush").expect("flusher exists");
+        assert!(flusher.ticks >= 2, "expected multiple ticks, got {}", flusher.ticks);
+    }
+
+    #[test]
+    fn latency_is_recorded_at_bolts() {
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(1_000, 5)));
+        let _ = t
+            .add_bolt("count", 2, |_| Box::new(CountingBolt::default()))
+            .input(s, Grouping::Key);
+        let stats = Runtime::new().run(t);
+        let lat = stats.latency("count");
+        assert_eq!(lat.count(), 1_000);
+        assert!(lat.mean() > 0.0);
+    }
+
+    #[test]
+    fn backpressure_does_not_deadlock() {
+        // Tiny queues, fast producer, slow consumer: must still complete.
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(2_000, 3)));
+        let _ = t
+            .add_bolt(
+                "slow",
+                1,
+                |_| {
+                    struct SlowBolt;
+                    impl Bolt for SlowBolt {
+                        fn execute(&mut self, _t: Tuple, _out: &mut Emitter<'_>) {
+                            std::hint::black_box(0u64);
+                        }
+                    }
+                    Box::new(SlowBolt)
+                },
+            )
+            .input(s, Grouping::Shuffle);
+        let stats = Runtime::with_options(RuntimeOptions { channel_capacity: 4, seed: 1 }).run(t);
+        assert_eq!(stats.processed("slow"), 2_000);
+    }
+}

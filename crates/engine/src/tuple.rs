@@ -1,0 +1,65 @@
+//! The unit of data flowing through a topology.
+
+/// A message `⟨t, k, v⟩`: a byte-string key, an integer value, and a birth
+/// timestamp for end-to-end latency measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    /// Routing key (a word, URL, feature id, …).
+    pub key: Box<[u8]>,
+    /// Payload value (counts, deltas; applications interpret it).
+    pub value: i64,
+    /// Nanoseconds since the runtime epoch at which the tuple entered the
+    /// topology (stamped by the spout executor; preserved across bolts so
+    /// sink latency is end-to-end).
+    pub born_ns: u64,
+}
+
+impl Tuple {
+    /// A tuple with an unset birth timestamp (the spout executor stamps it).
+    pub fn new(key: impl Into<Box<[u8]>>, value: i64) -> Self {
+        Self { key: key.into(), value, born_ns: 0 }
+    }
+
+    /// Key as UTF-8, if it is (diagnostics/tests).
+    pub fn key_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.key).ok()
+    }
+
+    /// The 64-bit key fingerprint used for routing decisions.
+    #[inline]
+    pub fn key_id(&self) -> u64 {
+        use pkg_hash::StreamKey;
+        self.key.as_ref().key_id()
+    }
+}
+
+/// What travels on a channel: data, periodic ticks are generated locally by
+/// executors, so only tuples and end-of-stream markers cross threads.
+#[derive(Debug)]
+pub enum Packet {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// End of stream from one upstream sender; an instance finishes when it
+    /// has received one per upstream instance.
+    Eof,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_id_is_stable_and_collision_free_on_small_sets() {
+        let a = Tuple::new(b"hello".to_vec(), 1);
+        let b = Tuple::new(b"hello".to_vec(), 2);
+        let c = Tuple::new(b"world".to_vec(), 1);
+        assert_eq!(a.key_id(), b.key_id());
+        assert_ne!(a.key_id(), c.key_id());
+    }
+
+    #[test]
+    fn key_str_roundtrip() {
+        let t = Tuple::new(b"word".to_vec(), 0);
+        assert_eq!(t.key_str(), Some("word"));
+    }
+}

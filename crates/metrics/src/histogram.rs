@@ -1,0 +1,212 @@
+//! Log-bucketed latency histogram.
+//!
+//! End-to-end latencies in the engine experiments span microseconds to
+//! seconds, so a fixed-width histogram is useless. This histogram buckets a
+//! `u64` (nanoseconds, or any unit) by a bounded-relative-error scheme in the
+//! spirit of HDR histograms: each power-of-two range is split into
+//! `2^sub_bits` linear sub-buckets, giving a worst-case relative error of
+//! `2^-sub_bits` on reconstructed values.
+
+/// Histogram with bounded relative error for values in `[0, 2^63)`.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    sub_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl LatencyHistogram {
+    /// Create a histogram with `2^sub_bits` sub-buckets per octave
+    /// (`sub_bits` in `1..=8`; 5 gives ~3% relative error and ~2k buckets).
+    pub fn new(sub_bits: u32) -> Self {
+        assert!((1..=8).contains(&sub_bits), "sub_bits must be in 1..=8");
+        let buckets = (64 - sub_bits as usize) << sub_bits;
+        Self {
+            sub_bits,
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, v: u64) -> usize {
+        let sb = self.sub_bits;
+        // Values below 2^sub_bits map linearly onto the first octave.
+        if v < (1 << sb) {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros(); // >= sub_bits
+        let octave = (msb - sb + 1) as usize;
+        let offset = ((v >> (msb - sb)) - (1 << sb)) as usize;
+        (octave << sb) + offset
+    }
+
+    /// Representative (lower-bound) value of bucket `b` — inverse of
+    /// [`Self::bucket_of`] up to the bucket's width.
+    fn bucket_value(&self, b: usize) -> u64 {
+        let sb = self.sub_bits;
+        let octave = (b >> sb) as u32;
+        let offset = (b & ((1usize << sb) - 1)) as u64;
+        if octave == 0 {
+            offset
+        } else {
+            ((1u64 << sb) + offset) << (octave - 1)
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = self.bucket_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Merge another histogram with identical `sub_bits` into this one.
+    ///
+    /// # Panics
+    /// Panics if the resolutions differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.sub_bits, other.sub_bits, "histogram resolutions differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of the recorded values (the sum is kept exactly).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`), with the histogram's
+    /// bounded relative error. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_value(b).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_has_bounded_relative_error() {
+        let h = LatencyHistogram::new(5);
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, 10u64.pow(9), u64::MAX >> 2] {
+            let b = h.bucket_of(v);
+            let rep = h.bucket_value(b);
+            assert!(rep <= v, "rep {rep} > v {v}");
+            let err = (v - rep) as f64 / v.max(1) as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let h = LatencyHistogram::new(4);
+        let mut prev = 0usize;
+        for v in 0u64..100_000 {
+            let b = h.bucket_of(v);
+            assert!(b >= prev, "bucket decreased at v={v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_data() {
+        let mut h = LatencyHistogram::new(5);
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.5) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.05, "p50 = {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.05, "p99 = {p99}");
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert!((h.mean() - 5_000.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new(5);
+        let mut b = LatencyHistogram::new(5);
+        let mut whole = LatencyHistogram::new(5);
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 7)
+            } else {
+                b.record(v * 7)
+            }
+            whole.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::new(3);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

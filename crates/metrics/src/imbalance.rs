@@ -1,0 +1,57 @@
+//! Free functions over raw load slices.
+//!
+//! These mirror [`crate::load::LoadVector`] for callers that already hold a
+//! load slice (e.g. snapshots taken by the simulator).
+
+/// `I = max(loads) − avg(loads)`; 0 for an empty slice.
+pub fn imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    let avg = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    max - avg
+}
+
+/// Imbalance normalized by the number of messages `m`; this is the
+/// "fraction of imbalance" on the y-axis of Figures 2–4.
+pub fn imbalance_fraction(loads: &[u64], m: u64) -> f64 {
+    if m == 0 {
+        0.0
+    } else {
+        imbalance(loads) / m as f64
+    }
+}
+
+/// The theoretical upper bound of the imbalance for `m` messages over `n`
+/// workers: all messages on one worker, `I = m(1 − 1/n)`. Useful for
+/// property tests and for normalizing plots.
+pub fn worst_case_imbalance(m: u64, n: usize) -> f64 {
+    m as f64 * (1.0 - 1.0 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computation() {
+        let loads = [10u64, 0, 2];
+        // avg = 4, max = 10 -> I = 6
+        assert!((imbalance(&loads) - 6.0).abs() < 1e-12);
+        assert!((imbalance_fraction(&loads, 12) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_are_safe() {
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance_fraction(&[0, 0], 0), 0.0);
+    }
+
+    #[test]
+    fn worst_case_is_attained_by_single_worker_pileup() {
+        let m = 100u64;
+        let loads = [m, 0, 0, 0];
+        assert!((imbalance(&loads) - worst_case_imbalance(m, 4)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! Measurement substrate for the Partial Key Grouping reproduction.
+//!
+//! The paper's evaluation reports three families of quantities, and this
+//! crate implements all of them:
+//!
+//! * **Load and imbalance** (§II): the load of worker `i` at time `t` is the
+//!   number of messages routed to it up to `t`; the imbalance is
+//!   `I(t) = max_i L_i(t) − avg_i L_i(t)`. Figures 2–4 report the *fraction
+//!   of imbalance* (imbalance normalized by the number of messages). See
+//!   [`load::LoadVector`] and [`mod@imbalance`].
+//! * **Time series** (Fig. 3): imbalance sampled through (simulated) time.
+//!   See [`timeseries::TimeSeries`].
+//! * **Throughput / latency / memory** (Fig. 5): end-to-end engine metrics.
+//!   See [`throughput::ThroughputMeter`] and [`histogram::LatencyHistogram`]
+//!   (a log-bucketed histogram, since per-message latencies span orders of
+//!   magnitude).
+//!
+//! [`welford::Welford`] provides numerically stable running mean/variance
+//! used by several experiment drivers.
+
+pub mod histogram;
+pub mod imbalance;
+pub mod load;
+pub mod throughput;
+pub mod timeseries;
+pub mod welford;
+
+pub use histogram::LatencyHistogram;
+pub use imbalance::{imbalance, imbalance_fraction, worst_case_imbalance};
+pub use load::LoadVector;
+pub use throughput::ThroughputMeter;
+pub use timeseries::TimeSeries;
+pub use welford::Welford;

@@ -1,0 +1,186 @@
+//! Per-worker load accounting.
+
+/// The load vector `L(t)` of a set of workers: `L_i(t)` counts the messages
+/// handled by worker `i` up to the current point of the stream (§II of the
+/// paper, the same definition used by Flux).
+///
+/// The maximum is tracked incrementally so that the imbalance can be read in
+/// O(1) on the routing hot path; the average is `total / n`.
+#[derive(Debug, Clone)]
+pub struct LoadVector {
+    loads: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl LoadVector {
+    /// A zeroed load vector over `n` workers.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        Self { loads: vec![0; n], total: 0, max: 0 }
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// `true` when there are no workers (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Record `weight` units of load on worker `w`.
+    #[inline]
+    pub fn record(&mut self, w: usize, weight: u64) {
+        let l = &mut self.loads[w];
+        *l += weight;
+        if *l > self.max {
+            self.max = *l;
+        }
+        self.total += weight;
+    }
+
+    /// Load of worker `w`.
+    #[inline]
+    pub fn load(&self, w: usize) -> u64 {
+        self.loads[w]
+    }
+
+    /// Total messages recorded.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum per-worker load.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Minimum per-worker load (O(n); not kept incrementally because the
+    /// imbalance definition only needs the maximum).
+    pub fn min(&self) -> u64 {
+        self.loads.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Average per-worker load.
+    #[inline]
+    pub fn avg(&self) -> f64 {
+        self.total as f64 / self.loads.len() as f64
+    }
+
+    /// The imbalance `I(t) = max_i L_i(t) − avg_i L_i(t)`.
+    #[inline]
+    pub fn imbalance(&self) -> f64 {
+        self.max as f64 - self.avg()
+    }
+
+    /// Imbalance divided by total messages ("fraction of imbalance" in the
+    /// paper's figures); 0 when no messages have been recorded.
+    #[inline]
+    pub fn imbalance_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.imbalance() / self.total as f64
+        }
+    }
+
+    /// Immutable view of the raw per-worker loads.
+    #[inline]
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Reset all loads to zero, keeping the worker count.
+    pub fn reset(&mut self) {
+        self.loads.fill(0);
+        self.total = 0;
+        self.max = 0;
+    }
+
+    /// Index of the least-loaded worker among `candidates`
+    /// (ties broken toward the earlier candidate, as in the reference
+    /// PKG implementation).
+    #[inline]
+    pub fn argmin_of(&self, candidates: &[usize]) -> usize {
+        debug_assert!(!candidates.is_empty());
+        let mut best = candidates[0];
+        let mut best_load = self.loads[best];
+        for &c in &candidates[1..] {
+            let l = self.loads[c];
+            if l < best_load {
+                best = c;
+                best_load = l;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_total_and_max() {
+        let mut lv = LoadVector::new(4);
+        lv.record(0, 3);
+        lv.record(1, 5);
+        lv.record(0, 1);
+        assert_eq!(lv.total(), 9);
+        assert_eq!(lv.max(), 5);
+        assert_eq!(lv.load(0), 4);
+        assert_eq!(lv.min(), 0);
+        assert!((lv.avg() - 2.25).abs() < 1e-12);
+        assert!((lv.imbalance() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_balanced_has_zero_imbalance() {
+        let mut lv = LoadVector::new(8);
+        for w in 0..8 {
+            lv.record(w, 100);
+        }
+        assert_eq!(lv.imbalance(), 0.0);
+        assert_eq!(lv.imbalance_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        let lv = LoadVector::new(3);
+        assert_eq!(lv.imbalance_fraction(), 0.0);
+    }
+
+    #[test]
+    fn argmin_prefers_first_on_tie() {
+        let mut lv = LoadVector::new(5);
+        lv.record(2, 4);
+        assert_eq!(lv.argmin_of(&[1, 3]), 1);
+        assert_eq!(lv.argmin_of(&[2, 3]), 3);
+        assert_eq!(lv.argmin_of(&[2, 2]), 2);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut lv = LoadVector::new(2);
+        lv.record(1, 7);
+        lv.reset();
+        assert_eq!(lv.total(), 0);
+        assert_eq!(lv.max(), 0);
+        assert_eq!(lv.loads(), &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = LoadVector::new(0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Throughput measurement for the engine experiments (Fig. 5).
+
+use std::time::{Duration, Instant};
+
+/// Counts events against wall-clock time.
+///
+/// The engine's sink executor owns one meter; `keys/s` in Fig. 5 is
+/// `count / elapsed` over the steady-state window (the meter can be
+/// `restart`ed after warm-up to exclude topology spin-up).
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    started: Instant,
+    count: u64,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputMeter {
+    /// Start measuring now.
+    pub fn new() -> Self {
+        Self { started: Instant::now(), count: 0 }
+    }
+
+    /// Record `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Events recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Time since start (or last restart).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Events per second since start; 0 if no time has passed.
+    pub fn per_second(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / secs
+        }
+    }
+
+    /// Zero the counter and restart the clock (end of warm-up).
+    pub fn restart(&mut self) {
+        self.started = Instant::now();
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut m = ThroughputMeter::new();
+        m.add(10);
+        m.add(5);
+        assert_eq!(m.count(), 15);
+    }
+
+    #[test]
+    fn rate_is_positive_after_work() {
+        let mut m = ThroughputMeter::new();
+        m.add(1000);
+        std::thread::sleep(Duration::from_millis(10));
+        let r = m.per_second();
+        assert!(r > 0.0 && r < 1000.0 / 0.01 * 1.5, "rate = {r}");
+    }
+
+    #[test]
+    fn restart_zeroes() {
+        let mut m = ThroughputMeter::new();
+        m.add(42);
+        m.restart();
+        assert_eq!(m.count(), 0);
+    }
+}

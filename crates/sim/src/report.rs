@@ -1,0 +1,81 @@
+//! Simulation results.
+
+use std::time::Duration;
+
+use pkg_metrics::TimeSeries;
+
+/// Key-replication summary (memory-overhead proxy; §III example).
+#[derive(Debug, Clone)]
+pub struct ReplicationStats {
+    /// Distinct keys observed in the stream.
+    pub distinct_keys: usize,
+    /// Distinct (key, worker) pairs — the counters a stateful operator
+    /// would hold across all workers.
+    pub total_pairs: u64,
+    /// Mean workers per key.
+    pub avg: f64,
+    /// Maximum workers any key reached.
+    pub max: u32,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Dataset symbol (WP, TW, …).
+    pub dataset: String,
+    /// Scheme label (H, PKG-L, Off-Greedy, …).
+    pub scheme: String,
+    /// Worker count `W`.
+    pub workers: usize,
+    /// Source count `S`.
+    pub sources: usize,
+    /// Messages processed.
+    pub messages: u64,
+    /// Mean of `I(t)` over the snapshot schedule — the paper's "average
+    /// imbalance" (Table II).
+    pub avg_imbalance: f64,
+    /// `I(m)` at end of stream.
+    pub final_imbalance: f64,
+    /// `avg_imbalance / messages` — the "fraction of average imbalance with
+    /// respect to the total number of messages" (Fig. 2/4 y-axis).
+    pub avg_fraction: f64,
+    /// `final_imbalance / messages`.
+    pub final_fraction: f64,
+    /// `(hours, I(t)/m(t))` through time (Fig. 3).
+    pub series: TimeSeries,
+    /// Final per-worker loads.
+    pub worker_loads: Vec<u64>,
+    /// Replication stats, when tracking was enabled.
+    pub replication: Option<ReplicationStats>,
+    /// Wall-clock duration of the simulation.
+    pub wall_time: Duration,
+}
+
+impl SimReport {
+    /// Header for [`Self::tsv_row`].
+    pub fn tsv_header() -> &'static str {
+        "dataset\tscheme\tworkers\tsources\tmessages\tavg_imbalance\tfinal_imbalance\tavg_fraction\tfinal_fraction\tavg_replication\ttotal_pairs"
+    }
+
+    /// One tab-separated row (replication columns empty when not tracked).
+    pub fn tsv_row(&self) -> String {
+        let (avg_rep, pairs) = match &self.replication {
+            Some(r) => (format!("{:.4}", r.avg), r.total_pairs.to_string()),
+            None => (String::new(), String::new()),
+        };
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{}\t{}",
+            self.dataset,
+            self.scheme,
+            self.workers,
+            self.sources,
+            self.messages,
+            self.avg_imbalance,
+            self.final_imbalance,
+            self.avg_fraction,
+            self.final_fraction,
+            avg_rep,
+            pairs
+        )
+    }
+}

@@ -1,0 +1,265 @@
+//! The simulation loop: play a stream through sources and a partitioning
+//! scheme, tracking worker loads and imbalance.
+
+use std::time::Instant;
+
+use pkg_core::{KeyFrequencies, Partitioner, ReplicationTracker, SchemeSpec, SharedLoads};
+use pkg_datagen::StreamSpec;
+use pkg_metrics::{LoadVector, TimeSeries, Welford};
+
+use crate::report::{ReplicationStats, SimReport};
+use crate::source::{SourceAssignment, SourceAssigner};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of downstream workers `W`.
+    pub workers: usize,
+    /// Number of source PEIs `S` (each holds its own partitioner instance,
+    /// which is what makes "local" load estimation local).
+    pub sources: usize,
+    /// The partitioning scheme under test.
+    pub scheme: SchemeSpec,
+    /// Seed for hash families and any scheme-internal randomness. Keep it
+    /// fixed across schemes being compared.
+    pub seed: u64,
+    /// Seed for the stream content. Keep it fixed across schemes so every
+    /// scheme sees the identical message sequence.
+    pub stream_seed: u64,
+    /// How messages are spread over sources (Q3 uses `KeyHash`).
+    pub assignment: SourceAssignment,
+    /// Number of imbalance snapshots to take across the run (≥ 2).
+    pub snapshots: u64,
+    /// Track distinct (key, worker) pairs (costs one hash-map op per
+    /// message; off for the big sweeps, on for memory experiments).
+    pub track_replication: bool,
+}
+
+impl SimConfig {
+    /// A config with the defaults used by most experiments: seed 42, uniform
+    /// source assignment, 1000 snapshots, no replication tracking.
+    pub fn new(workers: usize, sources: usize, scheme: SchemeSpec) -> Self {
+        Self {
+            workers,
+            sources,
+            scheme,
+            seed: 42,
+            stream_seed: 42,
+            assignment: SourceAssignment::RoundRobin,
+            snapshots: 1_000,
+            track_replication: false,
+        }
+    }
+
+    /// Builder: set both seeds.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.stream_seed = seed;
+        self
+    }
+
+    /// Builder: skewed source assignment (Q3).
+    pub fn with_assignment(mut self, assignment: SourceAssignment) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// Builder: enable replication tracking.
+    pub fn with_replication(mut self) -> Self {
+        self.track_replication = true;
+        self
+    }
+
+    /// Builder: snapshot count.
+    pub fn with_snapshots(mut self, snapshots: u64) -> Self {
+        self.snapshots = snapshots.max(2);
+        self
+    }
+}
+
+/// Compute the key-frequency histogram of a stream (one extra pass; needed
+/// only by Off-Greedy).
+pub fn frequencies(spec: &StreamSpec, stream_seed: u64) -> KeyFrequencies {
+    KeyFrequencies::from_keys(spec.iter(stream_seed).map(|m| m.key))
+}
+
+/// Run one simulation.
+pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
+    let started = Instant::now();
+    assert!(cfg.workers > 0 && cfg.sources > 0);
+
+    let shared = SharedLoads::new(cfg.workers);
+    let freqs = if cfg.scheme.needs_frequencies() {
+        Some(frequencies(spec, cfg.stream_seed))
+    } else {
+        None
+    };
+    // All sources share hash seeds (they must agree on candidates) but own
+    // their partitioner state.
+    let mut sources: Vec<Box<dyn Partitioner>> = (0..cfg.sources)
+        .map(|s| cfg.scheme.build(cfg.workers, cfg.seed, s, &shared, freqs.as_ref()))
+        .collect();
+    let mut assigner = SourceAssigner::new(cfg.assignment, cfg.sources, cfg.seed);
+
+    let mut loads = LoadVector::new(cfg.workers);
+    let mut series = TimeSeries::new(2_048);
+    let mut avg_imb = Welford::new();
+    let mut tracker = cfg.track_replication.then(ReplicationTracker::new);
+
+    let total = spec.messages();
+    let snap_every = (total / cfg.snapshots).max(1);
+    let mut until_snap = snap_every;
+
+    for msg in spec.iter(cfg.stream_seed) {
+        let s = assigner.assign(&msg);
+        let w = sources[s].route(msg.key, msg.ts_ms);
+        debug_assert!(w < cfg.workers);
+        shared.record(w);
+        loads.record(w, 1);
+        if let Some(t) = tracker.as_mut() {
+            t.record(msg.key, w);
+        }
+        until_snap -= 1;
+        if until_snap == 0 {
+            until_snap = snap_every;
+            let imb = loads.imbalance();
+            avg_imb.add(imb);
+            let hours = msg.ts_ms as f64 / 3_600_000.0;
+            series.push(hours, imb / loads.total() as f64);
+        }
+    }
+
+    // Final snapshot, in case the stream length was not a multiple of the
+    // snapshot stride.
+    let final_imbalance = loads.imbalance();
+    if until_snap != snap_every {
+        avg_imb.add(final_imbalance);
+        let hours = spec.duration_ms() as f64 / 3_600_000.0;
+        series.push(hours, loads.imbalance_fraction());
+    }
+
+    let messages = loads.total();
+    let replication = tracker.map(|t| ReplicationStats {
+        distinct_keys: t.distinct_keys(),
+        total_pairs: t.total_pairs(),
+        avg: t.avg_replication(),
+        max: t.max_replication(),
+    });
+
+    SimReport {
+        dataset: spec.name().to_string(),
+        scheme: cfg.scheme.label(),
+        workers: cfg.workers,
+        sources: cfg.sources,
+        messages,
+        avg_imbalance: avg_imb.mean(),
+        final_imbalance,
+        avg_fraction: if messages == 0 { 0.0 } else { avg_imb.mean() / messages as f64 },
+        final_fraction: if messages == 0 { 0.0 } else { final_imbalance / messages as f64 },
+        series,
+        worker_loads: loads.loads().to_vec(),
+        replication,
+        wall_time: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkg_core::EstimateKind;
+    use pkg_datagen::DatasetProfile;
+
+    fn small_spec() -> StreamSpec {
+        DatasetProfile::lognormal2().with_messages(60_000).build(5)
+    }
+
+    #[test]
+    fn message_conservation() {
+        let spec = small_spec();
+        let cfg = SimConfig::new(7, 3, SchemeSpec::pkg(EstimateKind::Local));
+        let r = run(&spec, &cfg);
+        assert_eq!(r.messages, 60_000);
+        assert_eq!(r.worker_loads.iter().sum::<u64>(), 60_000);
+    }
+
+    #[test]
+    fn identical_config_is_deterministic() {
+        let spec = small_spec();
+        let cfg = SimConfig::new(5, 2, SchemeSpec::pkg(EstimateKind::Local));
+        let a = run(&spec, &cfg);
+        let b = run(&spec, &cfg);
+        assert_eq!(a.worker_loads, b.worker_loads);
+        assert_eq!(a.avg_imbalance, b.avg_imbalance);
+    }
+
+    #[test]
+    fn q1_ordering_pkg_beats_potc_beats_hashing() {
+        // The qualitative content of Table II on a skewed stream.
+        let spec = small_spec();
+        let run_scheme = |scheme: SchemeSpec| {
+            run(&spec, &SimConfig::new(5, 1, scheme)).avg_imbalance
+        };
+        let h = run_scheme(SchemeSpec::KeyGrouping);
+        let potc = run_scheme(SchemeSpec::StaticPotc { estimate: EstimateKind::Global });
+        let pkg = run_scheme(SchemeSpec::pkg(EstimateKind::Global));
+        assert!(pkg < potc, "PKG {pkg} !< PoTC {potc}");
+        assert!(potc < h, "PoTC {potc} !< H {h}");
+    }
+
+    #[test]
+    fn local_estimation_close_to_global() {
+        // Q2: "the difference from the global variant is always less than
+        // one order of magnitude".
+        let spec = small_spec();
+        let g = run(&spec, &SimConfig::new(10, 5, SchemeSpec::pkg(EstimateKind::Global)));
+        let l = run(&spec, &SimConfig::new(10, 5, SchemeSpec::pkg(EstimateKind::Local)));
+        assert!(
+            l.avg_imbalance <= g.avg_imbalance * 10.0 + 10.0,
+            "L = {}, G = {}",
+            l.avg_imbalance,
+            g.avg_imbalance
+        );
+    }
+
+    #[test]
+    fn off_greedy_runs_with_frequencies() {
+        let spec = small_spec();
+        let r = run(&spec, &SimConfig::new(5, 1, SchemeSpec::OffGreedy));
+        assert_eq!(r.scheme, "Off-Greedy");
+        assert_eq!(r.messages, 60_000);
+    }
+
+    #[test]
+    fn replication_tracking_reports_pkg_bound() {
+        let spec = small_spec();
+        let cfg =
+            SimConfig::new(8, 2, SchemeSpec::pkg(EstimateKind::Local)).with_replication();
+        let r = run(&spec, &cfg);
+        let rep = r.replication.expect("tracking enabled");
+        assert!(rep.max <= 2, "PKG must never spread a key past 2 workers");
+        assert!(rep.avg <= 2.0);
+        assert!(rep.distinct_keys as u64 <= spec.key_space());
+    }
+
+    #[test]
+    fn skewed_assignment_still_balances_pkg() {
+        // Q3 in miniature: graph stream, sources fed by key hash.
+        let spec = DatasetProfile::slashdot1().with_messages(80_000).build(3);
+        let cfg = SimConfig::new(10, 5, SchemeSpec::pkg(EstimateKind::Local))
+            .with_assignment(SourceAssignment::KeyHash);
+        let r = run(&spec, &cfg);
+        // Fraction of imbalance stays small despite skewed sources.
+        assert!(r.avg_fraction < 0.02, "avg fraction = {}", r.avg_fraction);
+    }
+
+    #[test]
+    fn series_covers_stream_duration() {
+        let spec = small_spec();
+        let cfg = SimConfig::new(4, 1, SchemeSpec::KeyGrouping).with_snapshots(100);
+        let r = run(&spec, &cfg);
+        let pts = r.series.points();
+        assert!(!pts.is_empty());
+        let last_hour = pts.last().expect("non-empty").0;
+        assert!(last_hour > 0.0);
+    }
+}

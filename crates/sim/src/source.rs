@@ -1,0 +1,101 @@
+//! Assignment of stream messages to source PEIs.
+//!
+//! Q3 of the paper distinguishes two regimes: a *uniform* split (messages
+//! shuffled round-robin over the sources — the default everywhere else) and
+//! a *skewed* split where sources are fed by key grouping on a secondary
+//! key, so that "each source forwards an uneven part of the stream" (for
+//! graph streams that key is the source vertex, projecting the out-degree
+//! skew onto the sources).
+
+use pkg_datagen::Message;
+use pkg_hash::HashFamily;
+
+/// How messages are distributed over the source PEIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceAssignment {
+    /// Shuffle grouping onto sources (uniform; the paper's default).
+    RoundRobin,
+    /// Key grouping on [`Message::source_key`] (skewed; Q3 / Fig. 4).
+    KeyHash,
+}
+
+/// Live assignment state.
+#[derive(Debug, Clone)]
+pub struct SourceAssigner {
+    mode: SourceAssignment,
+    sources: usize,
+    next: usize,
+    family: HashFamily,
+}
+
+impl SourceAssigner {
+    /// Assigner over `sources` source PEIs.
+    pub fn new(mode: SourceAssignment, sources: usize, seed: u64) -> Self {
+        assert!(sources > 0, "need at least one source");
+        Self {
+            mode,
+            sources,
+            next: 0,
+            // A seed offset decorrelates the source-side hash from the
+            // worker-side hash family (distinct DAG edges hash separately).
+            family: HashFamily::new(1, seed ^ 0xa5a5_5a5a_1234_9876),
+        }
+    }
+
+    /// The source that receives this message.
+    #[inline]
+    pub fn assign(&mut self, msg: &Message) -> usize {
+        match self.mode {
+            SourceAssignment::RoundRobin => {
+                let s = self.next;
+                self.next += 1;
+                if self.next == self.sources {
+                    self.next = 0;
+                }
+                s
+            }
+            SourceAssignment::KeyHash => self.family.choice(0, &msg.source_key, self.sources),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(key: u64, source_key: u64) -> Message {
+        Message { ts_ms: 0, key, source_key }
+    }
+
+    #[test]
+    fn round_robin_is_uniform() {
+        let mut a = SourceAssigner::new(SourceAssignment::RoundRobin, 4, 0);
+        let mut counts = [0u64; 4];
+        for i in 0..1000 {
+            counts[a.assign(&msg(i, i))] += 1;
+        }
+        assert_eq!(counts, [250; 4]);
+    }
+
+    #[test]
+    fn key_hash_groups_by_source_key() {
+        let mut a = SourceAssigner::new(SourceAssignment::KeyHash, 8, 1);
+        let s = a.assign(&msg(0, 42));
+        for i in 0..100 {
+            assert_eq!(a.assign(&msg(i, 42)), s, "same source_key must pin to one source");
+        }
+    }
+
+    #[test]
+    fn key_hash_skews_with_skewed_source_keys() {
+        let mut a = SourceAssigner::new(SourceAssignment::KeyHash, 4, 2);
+        let mut counts = [0u64; 4];
+        for i in 0..1000u64 {
+            // 50% of messages share source_key 7.
+            let sk = if i % 2 == 0 { 7 } else { i };
+            counts[a.assign(&msg(i, sk))] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        assert!(max >= 500, "the hot source key must land on one source");
+    }
+}

@@ -1,0 +1,57 @@
+//! A streaming naive Bayes "spam" classifier with vertical parallelism
+//! (§VI-A of the paper).
+//!
+//! Training events are (feature, value, class) triples partitioned by
+//! feature id. Text-like data has Zipf-skewed feature frequencies, so key
+//! grouping overloads whichever worker owns the ubiquitous features; PKG
+//! balances them while bounding query fan-out to two workers per feature.
+//!
+//! ```text
+//! cargo run --release --example spam_classifier
+//! ```
+
+use partial_key_grouping::apps::naive_bayes::{synthetic_example, PartitionedNb};
+use partial_key_grouping::prelude::*;
+use pkg_metrics::imbalance;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (workers, features, informative) = (8, 30, 5);
+    let train_n = 30_000;
+    let test_n = 2_000;
+
+    for scheme in [
+        ("KG ", SchemeSpec::KeyGrouping),
+        ("PKG", SchemeSpec::pkg(EstimateKind::Local)),
+        ("SG ", SchemeSpec::ShuffleGrouping),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut nb = PartitionedNb::new(workers, &scheme.1, features, 42);
+        for _ in 0..train_n {
+            let (x, y) = synthetic_example(&mut rng, features, informative);
+            nb.train(&x, y);
+        }
+        let mut correct = 0;
+        for _ in 0..test_n {
+            let (x, y) = synthetic_example(&mut rng, features, informative);
+            if nb.predict(&x) == Some(y) {
+                correct += 1;
+            }
+        }
+        let loads = nb.worker_loads();
+        println!(
+            "{}  accuracy {:.1}%  worker imbalance {:>9.1}  counters {:>6}  probes/feature {}",
+            scheme.0,
+            100.0 * correct as f64 / test_n as f64,
+            imbalance(&loads),
+            nb.total_counters(),
+            nb.probes_per_feature(0),
+        );
+    }
+    println!(
+        "\nSame accuracy everywhere (the counts are exact under any partitioning);\n\
+         KG: 1 probe but imbalanced; SG: balanced but {workers} probes and {workers}x counters;\n\
+         PKG: balanced, ≤2x counters, 2 probes."
+    );
+}

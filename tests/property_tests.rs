@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+
+use partial_key_grouping::apps::{BhHistogram, SpaceSaving};
+use partial_key_grouping::prelude::*;
+use pkg_hash::murmur3::{murmur3_128, murmur3_64_u64};
+use pkg_hash::HashFamily;
+use pkg_metrics::{imbalance, worst_case_imbalance, LoadVector};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn murmur_is_deterministic_and_seed_sensitive(data: Vec<u8>, seed in 0u64..1000) {
+        prop_assert_eq!(murmur3_128(&data, seed), murmur3_128(&data, seed));
+        if !data.is_empty() {
+            // Different seeds virtually never collide on the same input.
+            prop_assert_ne!(murmur3_128(&data, seed), murmur3_128(&data, seed ^ 0xdead_beef));
+        }
+    }
+
+    #[test]
+    fn murmur_u64_matches_bytes(v: u64, seed: u64) {
+        prop_assert_eq!(murmur3_64_u64(v, seed), murmur3_128(&v.to_le_bytes(), seed).0);
+    }
+
+    #[test]
+    fn hash_family_choices_in_range(key: u64, d in 1usize..=8, n in 1usize..200, seed: u64) {
+        let fam = HashFamily::new(d, seed);
+        let choices = fam.choices(&key, n);
+        prop_assert_eq!(choices.len(), d);
+        prop_assert!(choices.iter().all(|&c| c < n));
+    }
+
+    #[test]
+    fn every_partitioner_routes_in_range(
+        keys in prop::collection::vec(0u64..1000, 1..300),
+        n in 1usize..64,
+        seed: u64,
+    ) {
+        let shared = pkg_core::SharedLoads::new(n);
+        for scheme in [
+            SchemeSpec::KeyGrouping,
+            SchemeSpec::ShuffleGrouping,
+            SchemeSpec::pkg(EstimateKind::Local),
+            SchemeSpec::StaticPotc { estimate: EstimateKind::Local },
+            SchemeSpec::OnGreedy { estimate: EstimateKind::Local },
+        ] {
+            let mut p = scheme.build(n, seed, 0, &shared, None);
+            for (t, &k) in keys.iter().enumerate() {
+                let w = p.route(k, t as u64);
+                prop_assert!(w < n, "{} routed {} to {}", scheme.label(), k, w);
+            }
+        }
+    }
+
+    #[test]
+    fn pkg_never_leaves_candidates(
+        keys in prop::collection::vec(0u64..100, 1..500),
+        n in 2usize..32,
+        d in 1usize..=4,
+        seed: u64,
+    ) {
+        let mut pkg = PartialKeyGrouping::new(n, d, Estimate::local(n), seed);
+        for (t, &k) in keys.iter().enumerate() {
+            let w = pkg.route(k, t as u64);
+            prop_assert!(pkg.candidates(k).contains(&w));
+        }
+    }
+
+    #[test]
+    fn key_grouping_is_a_function_of_the_key(
+        keys in prop::collection::vec(any::<u64>(), 1..100),
+        n in 1usize..50,
+        seed: u64,
+    ) {
+        let mut a = KeyGrouping::new(n, seed);
+        let mut b = KeyGrouping::new(n, seed);
+        for &k in &keys {
+            prop_assert_eq!(a.route(k, 0), b.route(k, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn imbalance_is_nonnegative_and_bounded(loads in prop::collection::vec(0u64..10_000, 1..64)) {
+        let i = imbalance(&loads);
+        let m: u64 = loads.iter().sum();
+        prop_assert!(i >= 0.0);
+        prop_assert!(i <= worst_case_imbalance(m, loads.len()) + 1e-9);
+    }
+
+    #[test]
+    fn load_vector_matches_free_function(
+        events in prop::collection::vec((0usize..8, 1u64..50), 0..200)
+    ) {
+        let mut lv = LoadVector::new(8);
+        let mut raw = vec![0u64; 8];
+        for &(w, c) in &events {
+            lv.record(w, c);
+            raw[w] += c;
+        }
+        prop_assert_eq!(lv.loads(), raw.as_slice());
+        prop_assert!((lv.imbalance() - imbalance(&raw)).abs() < 1e-9);
+        prop_assert_eq!(lv.max(), raw.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn spacesaving_bounds_always_bracket_truth(
+        stream in prop::collection::vec(0u64..50, 1..800),
+        k in 1usize..20,
+    ) {
+        let mut ss = SpaceSaving::new(k);
+        let mut truth = std::collections::HashMap::new();
+        for &key in &stream {
+            ss.offer(key, 1);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        ss.check_invariants();
+        prop_assert_eq!(ss.total(), stream.len() as u64);
+        // min_count <= m/k (the SpaceSaving guarantee).
+        prop_assert!(ss.min_count() <= stream.len() as u64 / k as u64 + 1);
+        for c in ss.counters() {
+            let f = truth.get(&c.key).copied().unwrap_or(0);
+            prop_assert!(c.count >= f);
+            prop_assert!(c.count - c.error <= f);
+        }
+    }
+
+    #[test]
+    fn spacesaving_merge_brackets_truth(
+        stream in prop::collection::vec((0u64..30, 0usize..2), 1..600),
+        k in 2usize..16,
+    ) {
+        let mut parts = [SpaceSaving::new(k), SpaceSaving::new(k)];
+        let mut truth = std::collections::HashMap::new();
+        for &(key, side) in &stream {
+            parts[side].offer(key, 1);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        let merged = parts[0].merge(&parts[1]);
+        prop_assert_eq!(merged.total(), stream.len() as u64);
+        for c in merged.counters() {
+            let f = truth.get(&c.key).copied().unwrap_or(0);
+            prop_assert!(c.count >= f, "over-estimate violated");
+            prop_assert!(c.count.saturating_sub(c.error) <= f, "lower bound violated");
+        }
+    }
+
+    #[test]
+    fn bh_histogram_conserves_mass_and_is_monotone(
+        points in prop::collection::vec(-1000.0f64..1000.0, 1..400),
+        b in 2usize..32,
+    ) {
+        let mut h = BhHistogram::new(b);
+        for &x in &points {
+            h.update(x);
+        }
+        prop_assert!((h.total() - points.len() as f64).abs() < 1e-6);
+        prop_assert!(h.bins().len() <= b);
+        // sum is monotone and saturates at total.
+        let mut prev = -1.0;
+        for i in -10..=10 {
+            let x = i as f64 * 110.0;
+            let s = h.sum(x);
+            prop_assert!(s >= prev - 1e-9);
+            prop_assert!(s <= h.total() + 1e-9);
+            prev = s;
+        }
+        prop_assert!((h.sum(f64::from(1_001)) - h.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bh_merge_conserves_mass(
+        xs in prop::collection::vec(0.0f64..100.0, 1..200),
+        ys in prop::collection::vec(0.0f64..100.0, 1..200),
+    ) {
+        let mut a = BhHistogram::new(16);
+        let mut b = BhHistogram::new(16);
+        for &x in &xs { a.update(x); }
+        for &y in &ys { b.update(y); }
+        let total = a.total() + b.total();
+        a.merge(&b);
+        prop_assert!((a.total() - total).abs() < 1e-6);
+        prop_assert!(a.bins().len() <= 16);
+    }
+
+    #[test]
+    fn simulation_conserves_messages(
+        messages in 100u64..5_000,
+        workers in 1usize..16,
+        sources in 1usize..6,
+    ) {
+        let spec = DatasetProfile::lognormal2().with_messages(messages).build(1);
+        let r = pkg_sim::run(
+            &spec,
+            &SimConfig::new(workers, sources, SchemeSpec::pkg(EstimateKind::Local)),
+        );
+        prop_assert_eq!(r.worker_loads.iter().sum::<u64>(), messages);
+        prop_assert!(r.final_imbalance >= 0.0);
+    }
+}
