@@ -1,0 +1,106 @@
+//! Smoke test: every `SchemeSpec` variant builds a working partitioner.
+//!
+//! Guards the PKG key-splitting invariant of §III: a key's messages may be
+//! split across its candidate workers, but may never leave the candidate
+//! set, and every routing decision lands inside `[0, workers)`.
+
+use partial_key_grouping::prelude::*;
+use pkg_core::KeyFrequencies;
+
+/// One spec per `SchemeSpec` variant, covering each estimator kind at
+/// least once.
+fn all_specs() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::KeyGrouping,
+        SchemeSpec::ShuffleGrouping,
+        SchemeSpec::pkg(EstimateKind::Local),
+        SchemeSpec::Pkg { d: 2, estimate: EstimateKind::Global },
+        SchemeSpec::Pkg { d: 2, estimate: EstimateKind::Probing { period_ms: 100 } },
+        SchemeSpec::Pkg { d: 4, estimate: EstimateKind::Local },
+        SchemeSpec::StaticPotc { estimate: EstimateKind::Local },
+        SchemeSpec::StaticPotc { estimate: EstimateKind::Global },
+        SchemeSpec::OnGreedy { estimate: EstimateKind::Local },
+        SchemeSpec::OnGreedy { estimate: EstimateKind::Global },
+        SchemeSpec::OffGreedy,
+    ]
+}
+
+/// A mildly skewed test stream: key 0 is hot, the rest are a cycling tail.
+fn stream(n: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(|i| if i % 5 == 0 { 0 } else { i % 97 })
+}
+
+#[test]
+fn every_scheme_routes_inside_its_candidate_set() {
+    let workers = 10;
+    let seed = 42;
+    for spec in all_specs() {
+        let shared = pkg_core::SharedLoads::new(workers);
+        let freqs = spec.needs_frequencies().then(|| KeyFrequencies::from_keys(stream(1_000)));
+        let mut p = spec.build(workers, seed, 0, &shared, freqs.as_ref());
+        assert_eq!(p.n(), workers, "{}", spec.label());
+        for (t, key) in stream(1_000).enumerate() {
+            let cands = p.candidates(key);
+            assert!(
+                !cands.is_empty() && cands.iter().all(|&c| c < workers),
+                "{}: bad candidate set {cands:?}",
+                spec.label()
+            );
+            let w = p.route(key, t as u64);
+            assert!(w < workers, "{}: routed {w} out of range", spec.label());
+            assert!(
+                cands.contains(&w),
+                "{}: route({key}) = {w} escaped candidates {cands:?}",
+                spec.label()
+            );
+            shared.record(w);
+        }
+    }
+}
+
+#[test]
+fn candidate_sets_are_stable_and_source_independent() {
+    let workers = 16;
+    for spec in all_specs() {
+        let shared = pkg_core::SharedLoads::new(workers);
+        let freqs = spec.needs_frequencies().then(|| KeyFrequencies::from_keys(stream(1_000)));
+        let a = spec.build(workers, 7, 0, &shared, freqs.as_ref());
+        let b = spec.build(workers, 7, 3, &shared, freqs.as_ref());
+        for key in 0..200u64 {
+            assert_eq!(a.candidates(key), a.candidates(key), "{}: unstable", spec.label());
+            assert_eq!(
+                a.candidates(key),
+                b.candidates(key),
+                "{}: sources disagree on candidates",
+                spec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn pkg_actually_splits_a_hot_key() {
+    // With one dominant key, PKG must use ≥ 2 distinct workers for it
+    // (key splitting), while KG pins it to exactly one.
+    let workers = 10;
+    let shared = pkg_core::SharedLoads::new(workers);
+    let mut pkg = SchemeSpec::pkg(EstimateKind::Local).build(workers, 42, 0, &shared, None);
+    let mut kg = SchemeSpec::KeyGrouping.build(workers, 42, 0, &shared, None);
+
+    // Pick a hot key whose two candidates differ under this seed.
+    let hot = (0..100u64)
+        .find(|&k| {
+            let c = pkg.candidates(k);
+            c.len() >= 2 && c[0] != c[1]
+        })
+        .expect("some key has two distinct candidates");
+
+    let mut pkg_workers = std::collections::BTreeSet::new();
+    let mut kg_workers = std::collections::BTreeSet::new();
+    for t in 0..1_000u64 {
+        pkg_workers.insert(pkg.route(hot, t));
+        kg_workers.insert(kg.route(hot, t));
+    }
+    assert_eq!(kg_workers.len(), 1, "KG must not split a key");
+    assert_eq!(pkg_workers.len(), 2, "PKG must split a hot key over both candidates");
+}

@@ -1,0 +1,315 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Benchmarks compile and run: each registered function is timed for a
+//! fixed number of samples and the mean ns/iter (plus element throughput
+//! when configured) is printed. Statistical outlier analysis, HTML reports
+//! and baseline comparison are intentionally out of scope.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted and ignored (every batch is one
+/// input here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing every call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Run `routine` over fresh inputs from `setup`; only `routine` is
+    /// timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: u64,
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { config: Config { sample_size: 10 } }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (the shim maps one sample to
+    /// one routine invocation).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for compatibility; the shim's run length is governed by
+    /// `sample_size` alone.
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim does not warm up.
+    pub fn warm_up_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility with `criterion_main!`-generated code.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, None, &id.into_benchmark_id(), None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of benchmarks sharing throughput/config settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, Some(&self.name), &id.into_benchmark_id(), self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.config, Some(&self.name), &id.id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    config: &Config,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    let mut bencher = Bencher { iters: config.sample_size, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let iters = bencher.iters.max(1);
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            let rate = n as f64 * 1e9 / ns_per_iter;
+            println!("bench: {full:<50} {ns_per_iter:>14.1} ns/iter ({rate:>12.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n))
+            if ns_per_iter > 0.0 =>
+        {
+            let rate = n as f64 * 1e9 / ns_per_iter / (1024.0 * 1024.0);
+            println!("bench: {full:<50} {ns_per_iter:>14.1} ns/iter ({rate:>9.1} MiB/s)");
+        }
+        _ => println!("bench: {full:<50} {ns_per_iter:>14.1} ns/iter"),
+    }
+}
+
+/// Declare a group of benchmark functions, with or without a custom
+/// `Criterion` configuration — both real-criterion forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_to_completion() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.sample_size(2);
+            g.bench_function("in_group", |b| {
+                b.iter_batched(|| 21u64, |x| { calls += 1; x * 2 }, BatchSize::LargeInput)
+            });
+            g.bench_with_input(BenchmarkId::new("param", 5), &5u64, |b, &p| {
+                b.iter(|| p + 1)
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn macros_expand() {
+        fn a_bench(c: &mut Criterion) {
+            c.bench_function("macro_case", |b| b.iter(|| black_box(0u8)));
+        }
+        criterion_group!(shim_benches, a_bench);
+        criterion_group! {
+            name = shim_benches_cfg;
+            config = Criterion::default().sample_size(2)
+                .measurement_time(std::time::Duration::from_millis(1))
+                .warm_up_time(std::time::Duration::from_millis(1));
+            targets = a_bench
+        }
+        shim_benches();
+        shim_benches_cfg();
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The [`proptest!`] macro expands each test into a deterministic loop of
+//! `cases` generated inputs (seeded per test case, so failures reproduce).
+//! Strategies cover what the workspace needs: integer/float ranges,
+//! `any::<T>()`, tuples of strategies, and `prop::collection::vec`. The
+//! real crate's shrinking, persistence, and failure-case files are
+//! intentionally out of scope — a failing case panics with the assertion
+//! message, and because cases are deterministic per (test name, case
+//! index), rerunning the test reproduces the failure exactly.
+
+use rand::rngs::SmallRng;
+pub use rand::Rng;
+use rand::SeedableRng;
+
+/// A generator of values for one test argument.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Types with a default "any value" strategy (the `arg: Type` form of
+/// [`proptest!`] and [`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Finite values across a wide dynamic range (not just `[0, 1)`).
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let mantissa: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        let exp = rng.random_range(-64i32..64);
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let len = rng.random_range(0..100usize);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.random_range(self.len.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    /// Per-`proptest!` block configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+}
+
+/// Derive the RNG for one test case. Deterministic in (test name, case
+/// index) so failures reproduce exactly; FNV-1a folds the name in.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Shimmed `proptest!` block: supports an optional
+/// `#![proptest_config(expr)]` header and any number of test functions
+/// whose arguments are either `name: Type` (an [`Arbitrary`] draw) or
+/// `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@fns ($cfg:expr); ) => {};
+    (@fns ($cfg:expr);
+        $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $crate::proptest!(@bind __rng; $($args)*);
+                $body
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    (@bind $rng:ident; ) => {};
+    (@bind $rng:ident; $i:ident in $e:expr) => {
+        let $i = $crate::Strategy::generate(&($e), &mut $rng);
+    };
+    (@bind $rng:ident; $i:ident in $e:expr, $($rest:tt)*) => {
+        let $i = $crate::Strategy::generate(&($e), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $i:ident : $t:ty) => {
+        let $i = <$t as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident; $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i = <$t as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn mixed_binding_forms(x: u64, v in prop::collection::vec(0u8..10, 1..5), f in 0.0f64..1.0) {
+            let _ = x;
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_any(pairs in prop::collection::vec((0usize..8, 1u64..50), 0..20), data: Vec<u8>) {
+            for (w, c) in &pairs {
+                prop_assert!(*w < 8 && (1..50).contains(c));
+            }
+            prop_assert!(data.len() < 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form(a in 0u64..5, b in 0u64..5) {
+            prop_assert!(a + b < 10);
+        }
+    }
+
+    #[test]
+    fn cases_reproduce() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        assert_eq!(rand::Rng::next_u64(&mut a), rand::Rng::next_u64(&mut b));
+    }
+}
