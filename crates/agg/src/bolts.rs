@@ -1,0 +1,438 @@
+//! The generic two-phase aggregation bolts for `pkg-engine`.
+//!
+//! Phase one is a [`WindowedWorkerBolt`]: it folds its share of the stream
+//! into per-key [`PartialAgg`] accumulators inside a tick-driven
+//! [`TumblingWindow`], and on every pane close emits one tuple per key whose
+//! payload is the *encoded partial state* — the aggregation messages whose
+//! rate the paper's Fig. 5 trades against memory via the period `T`.
+//!
+//! Phase two is an [`AggregatorBolt`]: partials for the same key meet there
+//! (route the edge with `Grouping::Key`, or `Grouping::Global` for
+//! stream-global accumulators) and are combined with `PartialAgg::merge`.
+//! Exact accumulators merge eagerly; sketches are buffered and folded with
+//! [`canonical_merge`] at emission so the result is independent of thread
+//! arrival order. The aggregator's [`Bolt::state_size`] reports its window
+//! buffer — phase-two state is part of the Fig. 5(b) memory bill.
+//!
+//! A [`Collector`] closes the loop for tests, examples and drivers: a
+//! terminal bolt that snapshots whatever reaches it behind an
+//! `Arc<Mutex<…>>` handle the caller keeps.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pkg_engine::bolt::{Bolt, Emitter};
+use pkg_engine::tuple::Tuple;
+use pkg_hash::FxHashMap;
+
+use crate::partial::{canonical_merge, PartialAgg};
+use crate::window::TumblingWindow;
+
+/// Key under which [`AggScope::Global`] workers accumulate and emit: the
+/// empty byte string (allocation-free, routes consistently under `Key`
+/// grouping).
+pub const GLOBAL_KEY: &[u8] = b"";
+
+/// What a [`WindowedWorkerBolt`] keys its accumulators by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggScope {
+    /// One accumulator per distinct tuple key (word counts, per-key means).
+    PerKey,
+    /// One accumulator for the instance's whole sub-stream, fed the key
+    /// fingerprints (SpaceSaving summaries, distinct sketches). Partials
+    /// are emitted under [`GLOBAL_KEY`].
+    Global,
+}
+
+/// Emulation of per-tuple CPU cost (the paper's 0.1–1 ms delay knob, Q4).
+///
+/// Sleeping serializes service time as if each instance owned a dedicated
+/// core; the owed time is batched above OS timer granularity so the
+/// long-run service *rate* is exact.
+#[derive(Debug)]
+pub struct ServiceDelay {
+    delay: Duration,
+    owed: Duration,
+}
+
+/// Sleep once the owed service time reaches this much (well above Linux
+/// timer slack, so the realized sleep tracks the request closely).
+const OWED_SLEEP_THRESHOLD: Duration = Duration::from_millis(4);
+
+impl ServiceDelay {
+    /// A per-tuple delay of `delay` (zero = free).
+    pub fn new(delay: Duration) -> Self {
+        Self { delay, owed: Duration::ZERO }
+    }
+
+    /// Charge one tuple's worth of service time.
+    pub fn charge(&mut self) {
+        if self.delay.is_zero() {
+            return;
+        }
+        self.owed += self.delay;
+        if self.owed >= OWED_SLEEP_THRESHOLD {
+            let start = Instant::now();
+            std::thread::sleep(self.owed);
+            self.owed = self.owed.saturating_sub(start.elapsed());
+        }
+    }
+}
+
+/// Phase one: windowed per-key partial aggregation.
+pub struct WindowedWorkerBolt<A: PartialAgg> {
+    window: TumblingWindow<Box<[u8]>, A>,
+    scope: AggScope,
+    /// Logical clock: engine ticks fired so far.
+    ticks: u64,
+    delay: ServiceDelay,
+}
+
+impl<A: PartialAgg> WindowedWorkerBolt<A> {
+    /// A per-key worker flushing one pane per engine tick (configure the
+    /// period with `tick_every` on the topology handle).
+    pub fn per_key() -> Self {
+        Self::with_scope(AggScope::PerKey)
+    }
+
+    /// A stream-global worker (one accumulator per instance).
+    pub fn global() -> Self {
+        Self::with_scope(AggScope::Global)
+    }
+
+    fn with_scope(scope: AggScope) -> Self {
+        Self {
+            window: TumblingWindow::new(1),
+            scope,
+            ticks: 0,
+            delay: ServiceDelay::new(Duration::ZERO),
+        }
+    }
+
+    /// Builder: widen panes to close every `n ≥ 1` ticks instead of every
+    /// tick.
+    pub fn panes_every_ticks(mut self, n: u64) -> Self {
+        self.window = TumblingWindow::new(n.max(1));
+        self
+    }
+
+    /// Builder: emulate per-tuple CPU cost (the Q4 delay knob).
+    pub fn service_delay(mut self, delay: Duration) -> Self {
+        self.delay = ServiceDelay::new(delay);
+        self
+    }
+
+    fn emit_pane(&mut self, pane: crate::window::Pane<Box<[u8]>, A>, out: &mut Emitter<'_>) {
+        let mut buf = Vec::new();
+        for (key, acc) in pane.accs {
+            buf.clear();
+            acc.encode(&mut buf);
+            out.emit(Tuple::with_payload(key, acc.emit(), buf.as_slice()));
+        }
+    }
+}
+
+impl<A: PartialAgg> Bolt for WindowedWorkerBolt<A> {
+    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
+        self.delay.charge();
+        let key_id = tuple.key_id();
+        let (key, value) = match self.scope {
+            AggScope::PerKey => (tuple.key, tuple.value),
+            AggScope::Global => (Box::from(GLOBAL_KEY), tuple.value),
+        };
+        // The logical clock only moves on ticks, so inserts never close a
+        // pane mid-stream; `tick` drains instead.
+        let closed = self.window.insert(key, key_id, value, self.ticks);
+        debug_assert!(closed.is_none(), "pane closes only on ticks");
+    }
+
+    fn tick(&mut self, out: &mut Emitter<'_>) {
+        self.ticks += 1;
+        if let Some(pane) = self.window.advance_to(self.ticks) {
+            self.emit_pane(pane, out);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Emitter<'_>) {
+        if let Some(pane) = self.window.flush() {
+            self.emit_pane(pane, out);
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.window.entries()
+    }
+}
+
+/// Per-key aggregator state: an eagerly-merged accumulator for raw inserts
+/// and exact partials, plus a buffer of inexact partials awaiting a
+/// canonical fold.
+struct Slot<A> {
+    local: Option<A>,
+    buffered: Vec<A>,
+}
+
+impl<A: PartialAgg> Slot<A> {
+    fn new() -> Self {
+        Self { local: None, buffered: Vec::new() }
+    }
+
+    fn entries(&self) -> usize {
+        self.local.as_ref().map_or(0, A::entries)
+            + self.buffered.iter().map(A::entries).sum::<usize>()
+    }
+
+    /// Resolve into one accumulator; order-insensitive by construction.
+    fn finalize(self) -> A {
+        let mut parts = self.buffered;
+        parts.extend(self.local);
+        match parts.len() {
+            0 => A::identity(),
+            // The single-partial fast path skips the codec roundtrip, which
+            // also keeps eagerly-merged float state (Mean) bit-exact.
+            1 => parts.into_iter().next().expect("len checked"),
+            _ => canonical_merge(&parts),
+        }
+    }
+}
+
+/// Phase two: merges partial aggregates per key.
+pub struct AggregatorBolt<A: PartialAgg> {
+    slots: FxHashMap<Box<[u8]>, Slot<A>>,
+    /// Emit-and-clear on every tick (windowed aggregation) instead of only
+    /// at end of stream.
+    windowed: bool,
+    /// Payloads that failed to decode (wiring bugs; surfaced via
+    /// `debug_assert` in debug builds, counted and skipped in release).
+    decode_failures: u64,
+}
+
+impl<A: PartialAgg> Default for AggregatorBolt<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: PartialAgg> AggregatorBolt<A> {
+    /// An aggregator that holds merged state until end of stream, then
+    /// emits one tuple per key — value [`PartialAgg::emit`], payload the
+    /// encoded merged accumulator — in sorted key order.
+    ///
+    /// Memory note: exact accumulators merge eagerly, so this mode holds
+    /// one accumulator per key regardless of stream length. Inexact
+    /// (sketch) accumulators are *buffered* until emission to keep the
+    /// canonical fold deterministic — with periodic upstream flushes that
+    /// buffer grows by one partial per worker per pane, so unbounded
+    /// streams over sketches should use [`Self::windowed`] (emit-and-clear
+    /// per tick) instead.
+    pub fn new() -> Self {
+        Self { slots: FxHashMap::default(), windowed: false, decode_failures: 0 }
+    }
+
+    /// Builder: also emit-and-clear on every tick (per-window aggregates).
+    pub fn windowed(mut self) -> Self {
+        self.windowed = true;
+        self
+    }
+
+    /// Payloads that failed to decode so far.
+    pub fn decode_failures(&self) -> u64 {
+        self.decode_failures
+    }
+
+    fn emit_all(&mut self, out: &mut Emitter<'_>) {
+        let mut slots: Vec<(Box<[u8]>, Slot<A>)> = self.slots.drain().collect();
+        slots.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (key, slot) in slots {
+            let acc = slot.finalize();
+            let payload = acc.encoded();
+            out.emit(Tuple::with_payload(key, acc.emit(), payload));
+        }
+    }
+}
+
+impl<A: PartialAgg> Bolt for AggregatorBolt<A> {
+    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
+        let key_id = tuple.key_id();
+        let slot = self.slots.entry(tuple.key).or_insert_with(Slot::new);
+        if tuple.payload.is_empty() {
+            // A raw observation (single-phase inputs, e.g. running counters
+            // flushed as plain values).
+            slot.local.get_or_insert_with(A::identity).insert(key_id, tuple.value);
+        } else {
+            match A::decode(&tuple.payload) {
+                Some(part) if A::EXACT => match &mut slot.local {
+                    Some(local) => local.merge(&part),
+                    None => slot.local = Some(part),
+                },
+                Some(part) => slot.buffered.push(part),
+                None => {
+                    debug_assert!(false, "undecodable {} payload", A::NAME);
+                    self.decode_failures += 1;
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, out: &mut Emitter<'_>) {
+        if self.windowed {
+            self.emit_all(out);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Emitter<'_>) {
+        self.emit_all(out);
+    }
+
+    /// Window-buffer entries (merged state plus buffered partials) — the
+    /// phase-two contribution to the Fig. 5(b) memory metric.
+    fn state_size(&self) -> usize {
+        self.slots.values().map(Slot::entries).sum()
+    }
+}
+
+/// Shared handle to everything a [`CollectorBolt`] received.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    sink: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bolt instance feeding this handle (pass to `Topology::add_bolt`).
+    pub fn bolt(&self) -> Box<dyn Bolt> {
+        Box::new(CollectorBolt { sink: Arc::clone(&self.sink) })
+    }
+
+    /// Snapshot of the collected tuples, sorted by key (then value) for
+    /// deterministic comparison.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        let mut v = self.sink.lock().expect("collector lock").clone();
+        v.sort_by(|a, b| a.key.cmp(&b.key).then(a.value.cmp(&b.value)));
+        v
+    }
+
+    /// Collected `(key, value)` pairs summed per key — final totals for
+    /// count-like pipelines.
+    pub fn totals(&self) -> Vec<(Box<[u8]>, i64)> {
+        let mut map: FxHashMap<Box<[u8]>, i64> = FxHashMap::default();
+        for t in self.sink.lock().expect("collector lock").iter() {
+            *map.entry(t.key.clone()).or_insert(0) += t.value;
+        }
+        let mut v: Vec<(Box<[u8]>, i64)> = map.into_iter().collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Decode the payload of every collected tuple as an `A` partial.
+    pub fn decoded<A: PartialAgg>(&self) -> Vec<(Box<[u8]>, A)> {
+        self.tuples()
+            .into_iter()
+            .filter(|t| !t.payload.is_empty())
+            .filter_map(|t| A::decode(&t.payload).map(|a| (t.key, a)))
+            .collect()
+    }
+}
+
+/// Terminal bolt pushing every input into its [`Collector`].
+pub struct CollectorBolt {
+    sink: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl Bolt for CollectorBolt {
+    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
+        self.sink.lock().expect("collector lock").push(tuple);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulators::{Sum, TopK};
+    use pkg_engine::grouping::Grouping;
+    use pkg_engine::runtime::Runtime;
+    use pkg_engine::spout::spout_from_iter;
+    use pkg_engine::topology::Topology;
+
+    fn word_stream(n: u64, vocab: u64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(format!("w{}", i % vocab).into_bytes(), 1)).collect()
+    }
+
+    #[test]
+    fn two_phase_sum_conserves_counts() {
+        let collector = Collector::new();
+        let mut topo = Topology::new();
+        let src = topo.add_spout("src", 2, |_| spout_from_iter(word_stream(3_000, 11)));
+        let worker = topo
+            .add_bolt("worker", 4, |_| Box::new(WindowedWorkerBolt::<Sum>::per_key()))
+            .input(src, Grouping::partial_key())
+            .tick_every(Duration::from_millis(5))
+            .id();
+        let agg = topo
+            .add_bolt("agg", 1, |_| Box::new(AggregatorBolt::<Sum>::new()))
+            .input(worker, Grouping::Key)
+            .id();
+        let c = collector.clone();
+        let _sink = topo.add_bolt("sink", 1, move |_| c.bolt()).input(agg, Grouping::Global);
+        let stats = Runtime::new().run(topo);
+        assert_eq!(stats.processed("worker"), 6_000);
+        let totals = collector.totals();
+        assert_eq!(totals.len(), 11);
+        assert_eq!(totals.iter().map(|(_, v)| v).sum::<i64>(), 6_000);
+        // 2 sources × 3000 tuples over 11 words, i % 11 uniform-ish.
+        for (key, total) in &totals {
+            assert!(*total >= 500, "word {:?} total {}", key, total);
+        }
+    }
+
+    #[test]
+    fn global_scope_merges_sketches_deterministically() {
+        let run = || {
+            let collector = Collector::new();
+            let mut topo = Topology::new();
+            let src = topo.add_spout("src", 1, |_| spout_from_iter(word_stream(2_000, 40)));
+            let worker = topo
+                .add_bolt("worker", 3, |_| Box::new(WindowedWorkerBolt::<TopK<16>>::global()))
+                .input(src, Grouping::partial_key())
+                .id();
+            let agg = topo
+                .add_bolt("agg", 1, |_| Box::new(AggregatorBolt::<TopK<16>>::new()))
+                .input(worker, Grouping::Global)
+                .id();
+            let c = collector.clone();
+            let _ = topo.add_bolt("sink", 1, move |_| c.bolt()).input(agg, Grouping::Global);
+            Runtime::new().run(topo);
+            let decoded = collector.decoded::<TopK<16>>();
+            assert_eq!(decoded.len(), 1, "one global summary");
+            assert_eq!(decoded[0].0.as_ref(), GLOBAL_KEY);
+            decoded.into_iter().next().expect("one summary").1
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.emit(), 2_000, "summary mass is conserved");
+        // Canonical folding makes the merged sketch run-to-run identical.
+        assert_eq!(a.summary().counters(), b.summary().counters());
+    }
+
+    #[test]
+    fn aggregator_accepts_raw_tuples_and_mixed_partials() {
+        let mut agg = AggregatorBolt::<Sum>::new();
+        let mut emitted = 0u64;
+        let mut out = Emitter::drop_sink(&mut emitted);
+        agg.execute(Tuple::new(b"k".to_vec(), 5), &mut out);
+        agg.execute(Tuple::new(b"k".to_vec(), 7), &mut out);
+        let mut partial = Sum::identity();
+        partial.insert(0, 30);
+        agg.execute(
+            Tuple::with_payload(b"k".to_vec(), partial.emit(), partial.encoded()),
+            &mut out,
+        );
+        assert_eq!(agg.state_size(), 1, "raw inserts and exact partials merge eagerly");
+        let slot = agg.slots.remove(b"k".as_slice()).expect("slot exists");
+        assert_eq!(slot.finalize().emit(), 42);
+        assert_eq!(agg.decode_failures(), 0);
+    }
+}

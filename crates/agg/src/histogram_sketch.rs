@@ -47,6 +47,23 @@ impl BhHistogram {
         &self.bins
     }
 
+    /// Rebuild a histogram from its parts (the [`crate::PartialAgg`] codec
+    /// path). `bins` must be sorted by centroid with positive masses;
+    /// returns `None` when the parts are malformed or exceed `capacity`.
+    pub fn from_parts(capacity: usize, bins: &[Bin]) -> Option<Self> {
+        if capacity < 2 || bins.len() > capacity {
+            return None;
+        }
+        let mut total = 0.0;
+        for (i, b) in bins.iter().enumerate() {
+            if !b.p.is_finite() || b.m.is_nan() || b.m <= 0.0 || (i > 0 && bins[i - 1].p >= b.p) {
+                return None;
+            }
+            total += b.m;
+        }
+        Some(Self { bins: bins.to_vec(), capacity, total })
+    }
+
     /// Insert one point (the *update* procedure).
     pub fn update(&mut self, x: f64) {
         self.update_weighted(x, 1.0);
@@ -145,10 +162,7 @@ impl BhHistogram {
         for j in 1..parts {
             let target = self.total * j as f64 / parts as f64;
             // Find i with sums[i] ≤ target < sums[i+1].
-            let i = match sums
-                .partition_point(|&s| s <= target)
-                .checked_sub(1)
-            {
+            let i = match sums.partition_point(|&s| s <= target).checked_sub(1) {
                 Some(i) if i + 1 < self.bins.len() => i,
                 _ => continue, // target outside interior range
             };

@@ -95,8 +95,7 @@ impl SpaceSaving {
             // Replace the minimum counter (heap root).
             let evicted = self.heap[0];
             self.pos.remove(&evicted.key);
-            self.heap[0] =
-                Counter { key, count: evicted.count + weight, error: evicted.count };
+            self.heap[0] = Counter { key, count: evicted.count + weight, error: evicted.count };
             self.pos.insert(key, 0);
             self.sift_down(0);
         }
@@ -178,6 +177,28 @@ impl SpaceSaving {
         merged
     }
 
+    /// Rebuild a summary from its parts (the [`crate::PartialAgg`] codec
+    /// path). `counters` must hold distinct keys with `error ≤ count`;
+    /// returns `None` when the parts violate those invariants or exceed
+    /// `capacity`.
+    pub fn from_parts(capacity: usize, total: u64, counters: &[Counter]) -> Option<Self> {
+        if capacity < 1 || counters.len() > capacity {
+            return None;
+        }
+        let mut ss = SpaceSaving::new(capacity);
+        ss.total = total;
+        for &c in counters {
+            if c.error > c.count || ss.pos.contains_key(&c.key) {
+                return None;
+            }
+            ss.heap.push(c);
+            let i = ss.heap.len() - 1;
+            ss.pos.insert(c.key, i);
+            ss.sift_up(i);
+        }
+        Some(ss)
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
@@ -222,10 +243,7 @@ impl SpaceSaving {
             assert_eq!(self.pos[&c.key], i, "index out of sync for key {}", c.key);
             if i > 0 {
                 let parent = (i - 1) / 2;
-                assert!(
-                    self.heap[parent].count <= c.count,
-                    "heap order violated at {i}"
-                );
+                assert!(self.heap[parent].count <= c.count, "heap order violated at {i}");
             }
             assert!(c.error <= c.count, "error exceeds count");
         }

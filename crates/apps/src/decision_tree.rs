@@ -199,7 +199,11 @@ impl SpdtAggregator {
     /// Merge worker histograms and attempt one round of splits; returns the
     /// number of leaves split. Workers' histograms for split leaves are
     /// cleared (children restart collection).
-    pub fn try_grow(&mut self, workers: &mut [SpdtWorker], candidates_of: &dyn Fn(u16) -> Vec<usize>) -> usize {
+    pub fn try_grow(
+        &mut self,
+        workers: &mut [SpdtWorker],
+        candidates_of: &dyn Fn(u16) -> Vec<usize>,
+    ) -> usize {
         let leaf_ids: Vec<u32> = self
             .tree
             .nodes
@@ -257,11 +261,8 @@ impl SpdtAggregator {
                     if nl < 1.0 || nr < 1.0 {
                         continue;
                     }
-                    let gain =
-                        parent_h - (nl / n) * entropy(&left) - (nr / n) * entropy(&right);
-                    if gain > self.cfg.min_gain
-                        && best.as_ref().is_none_or(|b| gain > b.gain)
-                    {
+                    let gain = parent_h - (nl / n) * entropy(&left) - (nr / n) * entropy(&right);
+                    if gain > self.cfg.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
                         best = Some(BestSplit {
                             feature: f as usize,
                             gain,
@@ -277,7 +278,8 @@ impl SpdtAggregator {
                 self.tree.nodes.push(Node::Leaf { counts: left_counts });
                 let r = self.tree.nodes.len();
                 self.tree.nodes.push(Node::Leaf { counts: right_counts });
-                self.tree.nodes[leaf as usize] = Node::Split { feature, threshold, left: l, right: r };
+                self.tree.nodes[leaf as usize] =
+                    Node::Split { feature, threshold, left: l, right: r };
                 for w in workers.iter_mut() {
                     w.clear_leaf(leaf);
                 }

@@ -21,12 +21,17 @@
 //!   count per feature `2·D·C·L` instead of `W·D·C·L`.
 
 pub mod decision_tree;
-pub mod histogram_sketch;
+pub mod heavy_hitters;
 pub mod naive_bayes;
-pub mod spacesaving;
 pub mod wordcount;
 
+// The sketch substrates moved into `pkg-agg` (they are the mergeable
+// summaries of its aggregation algebra); re-exported here so existing
+// `pkg_apps::spacesaving::…` / `pkg_apps::SpaceSaving` paths keep working.
+pub use pkg_agg::{histogram_sketch, spacesaving};
+
 pub use decision_tree::{SpdtAggregator, SpdtConfig, SpdtWorker};
+pub use heavy_hitters::{heavy_hitters_topology, HeavyHittersConfig};
 pub use histogram_sketch::BhHistogram;
 pub use naive_bayes::{NaiveBayes, NbEvent};
 pub use spacesaving::SpaceSaving;

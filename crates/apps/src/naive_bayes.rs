@@ -303,10 +303,7 @@ mod tests {
         let (kg, _) = train_partitioned(&SchemeSpec::KeyGrouping, 20_000);
         let i_pkg = imbalance(&pkg.worker_loads());
         let i_kg = imbalance(&kg.worker_loads());
-        assert!(
-            i_pkg < i_kg,
-            "PKG imbalance {i_pkg} must beat KG {i_kg} under feature skew"
-        );
+        assert!(i_pkg < i_kg, "PKG imbalance {i_pkg} must beat KG {i_kg} under feature skew");
     }
 
     #[test]

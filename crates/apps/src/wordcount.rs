@@ -21,6 +21,7 @@
 
 use std::time::Duration;
 
+use pkg_agg::{Max, ServiceDelay, Sum, WindowedWorkerBolt};
 use pkg_datagen::text::word_for_rank;
 use pkg_datagen::zipf::ZipfTable;
 use pkg_engine::prelude::*;
@@ -110,60 +111,90 @@ impl Default for WordCountConfig {
 }
 
 /// The word counter bolt (both running and partial flavors).
+///
+/// The partial flavor (SG/PKG) *is* the generic phase-one worker of
+/// `pkg-agg` — a [`WindowedWorkerBolt`] over [`Sum`] accumulators, flushing
+/// encoded partial counts every aggregation period. The running flavor (KG)
+/// keeps per-word running totals and flushes only its local top-k, which is
+/// key-grouping-specific logic, not partial aggregation, so it stays here.
 pub struct CounterBolt {
-    counts: FxHashMap<Box<[u8]>, i64>,
-    /// Running counters (KG) flush their top-k and keep state; partial
-    /// counters (SG/PKG) flush everything and clear.
-    running: bool,
-    delay: Duration,
-    /// Accumulated service time not yet slept (OS sleep granularity is
-    /// ~1 ms, far above the 0.1 ms per-tuple delays; batching the owed time
-    /// keeps each instance's long-run service *rate* exact).
-    owed: Duration,
-    top_k: usize,
+    inner: CounterInner,
 }
 
-/// Sleep once the owed service time reaches this much (well above Linux
-/// timer slack, so the realized sleep tracks the request closely).
-const OWED_SLEEP_THRESHOLD: Duration = Duration::from_millis(4);
+enum CounterInner {
+    Running(RunningTopKBolt),
+    Partial(WindowedWorkerBolt<Sum>),
+}
 
 impl CounterBolt {
     /// A counter bolt: `running = true` for the KG variant (keeps state,
     /// flushes its top-k), `false` for SG/PKG (flushes and clears all
     /// partial counts).
     pub fn new(running: bool, delay: Duration, top_k: usize) -> Self {
-        Self { counts: FxHashMap::default(), running, delay, owed: Duration::ZERO, top_k }
-    }
-
-    fn flush(&mut self, out: &mut Emitter<'_>) {
-        if self.running {
-            // Emit the local top-k running counts (value = running total).
-            let mut entries: Vec<(&Box<[u8]>, &i64)> = self.counts.iter().collect();
-            entries.sort_unstable_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-            for (key, &count) in entries.into_iter().take(self.top_k) {
-                out.emit(Tuple::new(key.clone(), count));
-            }
+        let inner = if running {
+            CounterInner::Running(RunningTopKBolt {
+                counts: FxHashMap::default(),
+                delay: ServiceDelay::new(delay),
+                top_k,
+            })
         } else {
-            // Emit all partial counts and clear.
-            for (key, count) in self.counts.drain() {
-                out.emit(Tuple::new(key, count));
-            }
-        }
+            CounterInner::Partial(WindowedWorkerBolt::per_key().service_delay(delay))
+        };
+        Self { inner }
     }
 }
 
 impl Bolt for CounterBolt {
-    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
-        if !self.delay.is_zero() {
-            // One dedicated core per PEI: serialize service time by
-            // sleeping, batched to defeat OS timer granularity.
-            self.owed += self.delay;
-            if self.owed >= OWED_SLEEP_THRESHOLD {
-                let start = std::time::Instant::now();
-                std::thread::sleep(self.owed);
-                self.owed = self.owed.saturating_sub(start.elapsed());
-            }
+    fn execute(&mut self, tuple: Tuple, out: &mut Emitter<'_>) {
+        match &mut self.inner {
+            CounterInner::Running(b) => b.execute(tuple, out),
+            CounterInner::Partial(b) => b.execute(tuple, out),
         }
+    }
+
+    fn tick(&mut self, out: &mut Emitter<'_>) {
+        match &mut self.inner {
+            CounterInner::Running(b) => b.tick(out),
+            CounterInner::Partial(b) => b.tick(out),
+        }
+    }
+
+    fn finish(&mut self, out: &mut Emitter<'_>) {
+        match &mut self.inner {
+            CounterInner::Running(b) => b.finish(out),
+            CounterInner::Partial(b) => b.finish(out),
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        match &self.inner {
+            CounterInner::Running(b) => b.state_size(),
+            CounterInner::Partial(b) => b.state_size(),
+        }
+    }
+}
+
+/// The KG counter: running per-word totals, top-k flushes, state retained.
+struct RunningTopKBolt {
+    counts: FxHashMap<Box<[u8]>, i64>,
+    delay: ServiceDelay,
+    top_k: usize,
+}
+
+impl RunningTopKBolt {
+    fn flush(&mut self, out: &mut Emitter<'_>) {
+        // Emit the local top-k running counts (value = running total).
+        let mut entries: Vec<(&Box<[u8]>, &i64)> = self.counts.iter().collect();
+        entries.sort_unstable_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (key, &count) in entries.into_iter().take(self.top_k) {
+            out.emit(Tuple::new(key.clone(), count));
+        }
+    }
+}
+
+impl Bolt for RunningTopKBolt {
+    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
+        self.delay.charge();
         *self.counts.entry(tuple.key).or_insert(0) += tuple.value;
     }
 
@@ -180,33 +211,51 @@ impl Bolt for CounterBolt {
     }
 }
 
-/// The top-k aggregator bolt.
+/// The top-k aggregator bolt: the generic `pkg-agg` phase-two aggregator,
+/// instantiated over [`Sum`] for partial inputs (SG/PKG) or [`Max`] for
+/// running inputs (KG, whose flushes re-state monotone running totals).
 pub struct AggregatorBolt {
-    totals: FxHashMap<Box<[u8]>, i64>,
-    /// Running inputs replace (monotone maxima); partial inputs add.
-    running_inputs: bool,
+    inner: AggregatorInner,
+}
+
+enum AggregatorInner {
+    Running(pkg_agg::AggregatorBolt<Max>),
+    Partial(pkg_agg::AggregatorBolt<Sum>),
 }
 
 impl AggregatorBolt {
     /// An aggregator: `running_inputs = true` merges running counts by
     /// maximum (KG), `false` sums partial counts (SG/PKG).
     pub fn new(running_inputs: bool) -> Self {
-        Self { totals: FxHashMap::default(), running_inputs }
+        let inner = if running_inputs {
+            AggregatorInner::Running(pkg_agg::AggregatorBolt::new())
+        } else {
+            AggregatorInner::Partial(pkg_agg::AggregatorBolt::new())
+        };
+        Self { inner }
     }
 }
 
 impl Bolt for AggregatorBolt {
-    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
-        let entry = self.totals.entry(tuple.key).or_insert(0);
-        if self.running_inputs {
-            *entry = (*entry).max(tuple.value);
-        } else {
-            *entry += tuple.value;
+    fn execute(&mut self, tuple: Tuple, out: &mut Emitter<'_>) {
+        match &mut self.inner {
+            AggregatorInner::Running(b) => b.execute(tuple, out),
+            AggregatorInner::Partial(b) => b.execute(tuple, out),
+        }
+    }
+
+    fn finish(&mut self, out: &mut Emitter<'_>) {
+        match &mut self.inner {
+            AggregatorInner::Running(b) => b.finish(out),
+            AggregatorInner::Partial(b) => b.finish(out),
         }
     }
 
     fn state_size(&self) -> usize {
-        self.totals.len()
+        match &self.inner {
+            AggregatorInner::Running(b) => b.state_size(),
+            AggregatorInner::Partial(b) => b.state_size(),
+        }
     }
 }
 
@@ -355,10 +404,7 @@ mod tests {
         };
         let kg = max_load(WordCountVariant::KeyGrouping);
         let pkg = max_load(WordCountVariant::PartialKeyGrouping);
-        assert!(
-            pkg < kg,
-            "PKG max load {pkg} must be below KG {kg} under 20% head skew"
-        );
+        assert!(pkg < kg, "PKG max load {pkg} must be below KG {kg} under 20% head skew");
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Aggregation subsystem micro-benches: windowed insert throughput and
+//! partial-merge throughput for every shipped `PartialAgg` accumulator —
+//! the per-message and per-flush costs of PKG's second phase.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pkg_agg::{canonical_merge, Count, Distinct, Max, Mean, PartialAgg, Sum, TopK, TumblingWindow};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf-ish stream of (key, value) observations.
+fn stream(n: usize) -> Vec<(u64, i64)> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..n)
+        .map(|_| {
+            let r: f64 = rng.random();
+            let key = ((1.0 / r.max(1e-9)) as u64).min(10_000);
+            (key, rng.random_range(1..100i64))
+        })
+        .collect()
+}
+
+fn bench_window_insert(c: &mut Criterion) {
+    let events = stream(50_000);
+    let mut g = c.benchmark_group("window_insert");
+    g.throughput(Throughput::Elements(events.len() as u64));
+
+    fn run<A: PartialAgg>(events: &[(u64, i64)]) -> usize {
+        // One pane per 1000 logical ticks: realistic flush cadence.
+        let mut w: TumblingWindow<u64, A> = TumblingWindow::new(1_000);
+        let mut flushed = 0;
+        for (ts, &(k, v)) in events.iter().enumerate() {
+            if let Some(pane) = w.insert(k, k, v, ts as u64) {
+                flushed += pane.entries();
+            }
+        }
+        flushed + w.entries()
+    }
+
+    g.bench_function("count_50k", |b| b.iter(|| black_box(run::<Count>(&events))));
+    g.bench_function("sum_50k", |b| b.iter(|| black_box(run::<Sum>(&events))));
+    g.bench_function("max_50k", |b| b.iter(|| black_box(run::<Max>(&events))));
+    g.bench_function("mean_50k", |b| b.iter(|| black_box(run::<Mean>(&events))));
+    g.bench_function("topk256_50k", |b| b.iter(|| black_box(run::<TopK<256>>(&events))));
+    g.bench_function("distinct64_50k", |b| b.iter(|| black_box(run::<Distinct<64>>(&events))));
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let events = stream(40_000);
+    let mut g = c.benchmark_group("partial_merge");
+
+    fn partials<A: PartialAgg>(events: &[(u64, i64)], ways: usize) -> Vec<A> {
+        let mut parts: Vec<A> = (0..ways).map(|_| A::identity()).collect();
+        for (i, &(k, v)) in events.iter().enumerate() {
+            parts[i % ways].insert(k, v);
+        }
+        parts
+    }
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("sum_pairwise", |b| {
+        let parts = partials::<Sum>(&events, 2);
+        b.iter(|| {
+            let mut a = parts[0].clone();
+            a.merge(&parts[1]);
+            black_box(a.emit())
+        })
+    });
+    g.bench_function("mean_pairwise", |b| {
+        let parts = partials::<Mean>(&events, 2);
+        b.iter(|| {
+            let mut a = parts[0].clone();
+            a.merge(&parts[1]);
+            black_box(a.emit())
+        })
+    });
+    g.bench_function("topk256_pairwise", |b| {
+        let parts = partials::<TopK<256>>(&events, 2);
+        b.iter(|| {
+            let mut a = parts[0].clone();
+            a.merge(&parts[1]);
+            black_box(a.emit())
+        })
+    });
+    g.bench_function("topk256_canonical_8way", |b| {
+        let parts = partials::<TopK<256>>(&events, 8);
+        b.iter(|| black_box(canonical_merge(&parts).emit()))
+    });
+    g.bench_function("distinct64_canonical_8way", |b| {
+        let parts = partials::<Distinct<64>>(&events, 8);
+        b.iter(|| black_box(canonical_merge(&parts).emit()))
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let events = stream(40_000);
+    let mut g = c.benchmark_group("partial_codec");
+    let mut topk = TopK::<256>::identity();
+    for &(k, v) in &events {
+        topk.insert(k, v);
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("topk256_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = topk.encoded();
+            black_box(TopK::<256>::decode(&bytes).expect("roundtrip").emit())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_window_insert, bench_merge, bench_codec
+}
+criterion_main!(benches);

@@ -30,12 +30,9 @@ fn main() {
         for &w in &workers {
             for &d in &ds {
                 meta.push((profile.name.clone(), w, d));
-                let mut cfg = SimConfig::new(
-                    w,
-                    5,
-                    SchemeSpec::Pkg { d, estimate: EstimateKind::Local },
-                )
-                .with_seed(seed());
+                let mut cfg =
+                    SimConfig::new(w, 5, SchemeSpec::Pkg { d, estimate: EstimateKind::Local })
+                        .with_seed(seed());
                 cfg.track_replication = true;
                 jobs.push(Job { spec: spec.clone(), cfg });
             }
@@ -43,7 +40,8 @@ fn main() {
     }
     let reports = run_parallel(jobs, threads());
 
-    let mut out = String::from("# Ablation: PKG with d choices (imbalance fraction and replication)\n");
+    let mut out =
+        String::from("# Ablation: PKG with d choices (imbalance fraction and replication)\n");
     out.push_str(&format!("# scale={} seed={} S=5\n", pkg_bench::scale(), seed()));
     let mut table = TextTable::new();
     table.row(["dataset", "W", "d", "final_fraction", "avg_replication", "key_worker_pairs"]);

@@ -18,8 +18,10 @@ use pkg_sim::sweep::{run_parallel, Job};
 use pkg_sim::SimConfig;
 
 fn main() {
-    let datasets =
-        [scaled(DatasetProfile::wikipedia()).scale(0.2), scaled(DatasetProfile::twitter()).scale(0.2)];
+    let datasets = [
+        scaled(DatasetProfile::wikipedia()).scale(0.2),
+        scaled(DatasetProfile::twitter()).scale(0.2),
+    ];
     let w = 10usize;
 
     // (label, sources, estimate)
@@ -48,8 +50,9 @@ fn main() {
     }
     let reports = run_parallel(jobs, threads());
 
-    let mut out =
-        String::from("# Ablation: estimator strategies for PKG (W=10): oracle vs local vs probing\n");
+    let mut out = String::from(
+        "# Ablation: estimator strategies for PKG (W=10): oracle vs local vs probing\n",
+    );
     out.push_str(&format!("# scale={} seed={}\n", pkg_bench::scale(), seed()));
     let mut table = TextTable::new();
     table.row(["dataset", "estimator", "final_imbalance", "final_fraction"]);

@@ -31,19 +31,20 @@ fn run(p: &mut dyn Partitioner, spec: &pkg_datagen::StreamSpec, seed: u64) -> (f
 fn main() {
     let profile = scaled(DatasetProfile::wikipedia()).scale(0.4);
     let spec = profile.build(seed());
-    let mut out = String::from(
-        "# Ablation: plain PKG vs hot-aware D-Choices/W-Choices on WP as W grows\n",
-    );
-    out.push_str(&format!("# scale={} seed={} messages={}\n", pkg_bench::scale(), seed(), spec.messages()));
+    let mut out =
+        String::from("# Ablation: plain PKG vs hot-aware D-Choices/W-Choices on WP as W grows\n");
+    out.push_str(&format!(
+        "# scale={} seed={} messages={}\n",
+        pkg_bench::scale(),
+        seed(),
+        spec.messages()
+    ));
     let mut table = TextTable::new();
     table.row(["scheme", "W", "imbalance_fraction", "avg_replication", "max_replication"]);
     for &w in &WORKER_GRID {
         let theta = 0.2 / w as f64; // keys hotter than 1/(5W) get extra choices
         let mut schemes: Vec<(String, Box<dyn Partitioner>)> = vec![
-            (
-                "PKG".into(),
-                Box::new(PartialKeyGrouping::new(w, 2, Estimate::local(w), seed())),
-            ),
+            ("PKG".into(), Box::new(PartialKeyGrouping::new(w, 2, Estimate::local(w), seed()))),
             (
                 "D-Choices(5)".into(),
                 Box::new(HotAwarePkg::new(w, Estimate::local(w), theta, 5, seed())),

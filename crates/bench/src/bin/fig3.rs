@@ -24,13 +24,7 @@ fn main() {
     let techniques: Vec<(&str, SchemeSpec)> = vec![
         ("G", SchemeSpec::pkg(EstimateKind::Global)),
         ("L5", SchemeSpec::pkg(EstimateKind::Local)),
-        (
-            "L5P1",
-            SchemeSpec::Pkg {
-                d: 2,
-                estimate: EstimateKind::Probing { period_ms: 60_000 },
-            },
-        ),
+        ("L5P1", SchemeSpec::Pkg { d: 2, estimate: EstimateKind::Probing { period_ms: 60_000 } }),
     ];
     let datasets = [
         scaled(DatasetProfile::twitter()),
@@ -70,7 +64,11 @@ fn main() {
     // Compact summary for the terminal: mean fraction per series.
     let mut summary = String::from("\n# summary: mean fraction over time\n");
     for ((ds, w, label), r) in meta.iter().zip(&reports) {
-        summary.push_str(&format!("# {ds} W={w} {label}: mean={:.3e} final={:.3e}\n", r.series.mean_value(), r.final_fraction));
+        summary.push_str(&format!(
+            "# {ds} W={w} {label}: mean={:.3e} final={:.3e}\n",
+            r.series.mean_value(),
+            r.final_fraction
+        ));
     }
     out.push_str(&summary);
     pkg_bench::emit("fig3.tsv", &out);

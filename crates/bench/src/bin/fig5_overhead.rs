@@ -1,0 +1,189 @@
+//! **Fig. 5 overhead sweep** — the cost of PKG's second aggregation phase
+//! as a function of the aggregation period `T`, for PKG vs. KG vs. shuffle.
+//!
+//! §V-D: "Shorter aggregation periods reduce the memory requirements, as
+//! partial counters are flushed often, at the cost of a higher number of
+//! aggregation messages." This driver measures that trade-off end-to-end at
+//! simulation scale via `pkg-sim`'s aggregation modeling (`pkg-agg` windows
+//! under every worker): merge messages, per-worker window memory,
+//! aggregator state, and per-window staleness, over a nested grid of `T`.
+//!
+//! It then validates the live two-phase engine pipelines that `pkg-agg`
+//! replaced the hand-rolled flush logic with:
+//!
+//! * word count (PKG and SG): the aggregator's final totals must be
+//!   byte-identical to the ground-truth counts of the same seeded stream —
+//!   i.e. identical to what the pre-refactor single-phase counters
+//!   produced;
+//! * heavy hitters: the merged SpaceSaving summary must be byte-identical
+//!   to the single-phase computation with the same routing.
+//!
+//! Exits non-zero if merge-message overhead fails to decrease as `T` grows
+//! or if either parity check fails.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use pkg_agg::PartialAgg;
+use pkg_apps::heavy_hitters::{heavy_hitters_topology, single_phase_summary, HeavyHittersConfig};
+use pkg_apps::wordcount::{exact_counts, wordcount_topology, WordCountConfig, WordCountVariant};
+use pkg_bench::{scaled, seed, TextTable};
+use pkg_core::{EstimateKind, SchemeSpec};
+use pkg_datagen::DatasetProfile;
+use pkg_engine::{Grouping, Runtime, RuntimeOptions};
+use pkg_sim::{run as run_sim, SimConfig};
+
+fn sim_sweep(out: &mut String, tsv: &mut String) -> bool {
+    let spec = scaled(DatasetProfile::lognormal2()).build(seed());
+    let duration = spec.duration_ms();
+    // Nested period grid — each literally divides the next (base, 4·base,
+    // …, 256·base), so coarser panes are exact unions of finer ones and the
+    // merge-message count is provably non-increasing in `T` for a fixed
+    // stream. (Dividing `duration` by a ratio grid would NOT nest after
+    // integer truncation.)
+    let base = (duration / 512).max(1);
+    let periods: Vec<u64> = [1u64, 4, 16, 64, 256].iter().map(|m| base * m).collect();
+    let schemes = [
+        ("PKG", SchemeSpec::pkg(EstimateKind::Local)),
+        ("KG", SchemeSpec::KeyGrouping),
+        ("SG", SchemeSpec::ShuffleGrouping),
+    ];
+
+    let mut table = TextTable::new();
+    table.row([
+        "scheme",
+        "T_ms",
+        "merge_msgs",
+        "merge_frac",
+        "worker_window",
+        "agg_keys",
+        "staleness_ms",
+    ]);
+    let mut ok = true;
+    for (label, scheme) in schemes {
+        let mut prev: Option<u64> = None;
+        for &period in &periods {
+            let cfg =
+                SimConfig::new(10, 5, scheme.clone()).with_seed(seed()).with_aggregation(period);
+            let r = run_sim(&spec, &cfg);
+            let a = r.aggregation.as_ref().expect("aggregation modeled");
+            table.row([
+                label.to_string(),
+                period.to_string(),
+                a.merge_messages.to_string(),
+                format!("{:.4}", a.merge_fraction),
+                format!("{:.1}", a.avg_worker_state),
+                format!("{:.1}", a.avg_aggregator_state),
+                format!("{:.1}", a.avg_staleness_ms),
+            ]);
+            tsv.push_str(&r.tsv_row());
+            tsv.push('\n');
+            if let Some(p) = prev {
+                if a.merge_messages > p {
+                    let _ = writeln!(
+                        out,
+                        "VIOLATION: {label} merge messages rose {p} -> {} at T={period}",
+                        a.merge_messages
+                    );
+                    ok = false;
+                }
+            }
+            prev = Some(a.merge_messages);
+        }
+    }
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "check: merge-message overhead decreases as T grows for every scheme .. {}",
+        if ok { "OK" } else { "FAIL" }
+    );
+    ok
+}
+
+/// Word count on the live engine: the two-phase totals must equal the
+/// ground truth of the seeded stream byte-for-byte (what the pre-refactor
+/// single-phase counters produced).
+fn wordcount_parity(out: &mut String, variant: WordCountVariant) -> bool {
+    let cfg = WordCountConfig {
+        variant,
+        messages_per_source: 20_000,
+        vocabulary: 500,
+        counters: 6,
+        aggregation_period: Some(Duration::from_millis(20)),
+        seed: seed(),
+        ..WordCountConfig::default()
+    };
+    let collector = pkg_agg::Collector::new();
+    let (mut topo, _, _, aggregator) = wordcount_topology(&cfg);
+    let c = collector.clone();
+    let _sink =
+        topo.add_bolt("collector", 1, move |_| c.bolt()).input(aggregator, Grouping::Global);
+    Runtime::new().run(topo);
+
+    let render = |pairs: &[(String, i64)]| {
+        pairs.iter().fold(String::new(), |mut s, (w, n)| {
+            let _ = writeln!(s, "{w}\t{n}");
+            s
+        })
+    };
+    let mut got: Vec<(String, i64)> = collector
+        .totals()
+        .into_iter()
+        .map(|(k, v)| (String::from_utf8(k.to_vec()).expect("words are utf8"), v))
+        .collect();
+    got.sort_unstable();
+    let mut want: Vec<(String, i64)> = exact_counts(&cfg).into_iter().collect();
+    want.sort_unstable();
+    let ok = render(&got) == render(&want);
+    let _ = writeln!(
+        out,
+        "check: wordcount/{} two-phase totals byte-identical to single-phase .. {}",
+        cfg.variant.label(),
+        if ok { "OK" } else { "FAIL" }
+    );
+    ok
+}
+
+/// Heavy hitters on the live engine vs. the single-phase oracle.
+fn heavy_hitters_parity(out: &mut String) -> bool {
+    let cfg = HeavyHittersConfig {
+        workers: 8,
+        profile: DatasetProfile::cashtags().with_messages(50_000),
+        engine_seed: seed(),
+        ..HeavyHittersConfig::default()
+    };
+    let (topo, collector) = heavy_hitters_topology(&cfg);
+    Runtime::with_options(RuntimeOptions { channel_capacity: 1024, seed: cfg.engine_seed })
+        .run(topo);
+    let engine = pkg_apps::heavy_hitters::final_summary(&collector).expect("summary collected");
+    let oracle = single_phase_summary(&cfg);
+    let ok = engine.encoded() == oracle.encoded();
+    let _ = writeln!(
+        out,
+        "check: heavy-hitters merged summary byte-identical to single-phase .. {}",
+        if ok { "OK" } else { "FAIL" }
+    );
+    ok
+}
+
+fn main() {
+    let mut out = String::from(
+        "# Fig. 5 overhead: aggregation period T vs merge messages / memory / staleness\n",
+    );
+    let _ = writeln!(out, "# workers=10 sources=5 seed={} (sim: lognormal2 profile)", seed());
+    let mut tsv = String::from(pkg_sim::SimReport::tsv_header());
+    tsv.push('\n');
+
+    let mut ok = sim_sweep(&mut out, &mut tsv);
+    ok &= wordcount_parity(&mut out, WordCountVariant::PartialKeyGrouping);
+    ok &= wordcount_parity(&mut out, WordCountVariant::ShuffleGrouping);
+    ok &= heavy_hitters_parity(&mut out);
+
+    out.push('\n');
+    out.push_str(&tsv);
+    pkg_bench::emit("fig5_overhead.tsv", &out);
+    if !ok {
+        eprintln!("fig5_overhead: checks FAILED");
+        std::process::exit(1);
+    }
+}

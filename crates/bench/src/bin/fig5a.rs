@@ -45,8 +45,16 @@ fn main() {
     let mut out = String::from("# Figure 5(a): throughput vs CPU delay (1 source, 9 counters)\n");
     out.push_str(&format!("# messages={messages} seed={}\n", seed()));
     let mut table = TextTable::new();
-    table.row(["variant", "delay_ms", "throughput_keys_s", "mean_latency_ms", "p99_latency_ms", "max_counter_load"]);
-    let mut tsv = String::from("variant\tdelay_ms\tthroughput\tmean_latency_ms\tp99_latency_ms\tmax_load\n");
+    table.row([
+        "variant",
+        "delay_ms",
+        "throughput_keys_s",
+        "mean_latency_ms",
+        "p99_latency_ms",
+        "max_counter_load",
+    ]);
+    let mut tsv =
+        String::from("variant\tdelay_ms\tthroughput\tmean_latency_ms\tp99_latency_ms\tmax_load\n");
 
     for &delay_us in &delays_us {
         for variant in variants {

@@ -33,8 +33,16 @@ fn main() {
         seed()
     ));
     let mut table = TextTable::new();
-    table.row(["variant", "period_s", "throughput_keys_s", "avg_counters", "max_counters", "agg_messages"]);
-    let mut tsv = String::from("variant\tperiod_s\tthroughput\tavg_counters\tmax_counters\tagg_messages\n");
+    table.row([
+        "variant",
+        "period_s",
+        "throughput_keys_s",
+        "avg_counters",
+        "max_counters",
+        "agg_messages",
+    ]);
+    let mut tsv =
+        String::from("variant\tperiod_s\tthroughput\tavg_counters\tmax_counters\tagg_messages\n");
 
     for variant in [
         WordCountVariant::PartialKeyGrouping,

@@ -27,7 +27,10 @@ fn main() {
     let (workers, sources) = (10usize, 5usize);
 
     let mut out = String::from("# Q2: agreement between PKG-G and PKG-L on message destinations\n");
-    out.push_str(&format!("# W={workers} S={sources} seed={} (paper: 47% Jaccard overlap)\n", seed()));
+    out.push_str(&format!(
+        "# W={workers} S={sources} seed={} (paper: 47% Jaccard overlap)\n",
+        seed()
+    ));
     let mut table = TextTable::new();
     table.row(["dataset", "msg_agreement", "jaccard", "I(G)", "I(L)"]);
 

@@ -7,7 +7,7 @@
 
 use std::process::Command;
 
-const DRIVERS: [&str; 12] = [
+const DRIVERS: [&str; 13] = [
     "table1",
     "table2",
     "fig2",
@@ -15,6 +15,7 @@ const DRIVERS: [&str; 12] = [
     "fig4",
     "fig5a",
     "fig5b",
+    "fig5_overhead",
     "theory_bounds",
     "ablation_d",
     "ablation_hot",

@@ -13,8 +13,8 @@
 
 use pkg_bench::{seed, threads, TextTable};
 use pkg_core::{EstimateKind, SchemeSpec};
-use pkg_datagen::DatasetProfile;
 use pkg_datagen::profiles::ProfileKind;
+use pkg_datagen::DatasetProfile;
 use pkg_sim::sweep::{run_parallel, Job};
 use pkg_sim::SimConfig;
 

@@ -127,12 +127,7 @@ impl Estimate {
     pub fn probing(shared: SharedLoads, period_ms: u64) -> Self {
         assert!(period_ms > 0, "probe period must be positive");
         let n = shared.n();
-        Estimate::Probing {
-            local: vec![0; n],
-            shared,
-            period_ms,
-            next_probe_ms: period_ms,
-        }
+        Estimate::Probing { local: vec![0; n], shared, period_ms, next_probe_ms: period_ms }
     }
 
     /// Number of workers covered.

@@ -48,13 +48,7 @@ impl HotAwarePkg {
     /// must be in `(0, 1]`; the paper-relevant regime is around
     /// `1/(2n) … 1/n` (a key hotter than that cannot be balanced by two
     /// workers).
-    pub fn new(
-        n: usize,
-        estimate: Estimate,
-        hot_threshold: f64,
-        d_hot: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn new(n: usize, estimate: Estimate, hot_threshold: f64, d_hot: usize, seed: u64) -> Self {
         assert!(n > 0, "need at least one worker");
         assert_eq!(estimate.n(), n, "estimate must cover all workers");
         assert!(hot_threshold > 0.0 && hot_threshold <= 1.0, "threshold must be in (0,1]");
@@ -83,7 +77,10 @@ impl HotAwarePkg {
         self.buf[0] = self.family.choice(0, &key, self.n);
         self.buf[1] = self.family.choice(1, &key, self.n);
         for (i, slot) in self.buf.iter_mut().enumerate().take(self.d_hot.min(MAX_CHOICES)).skip(2) {
-            let h = pkg_hash::murmur3::murmur3_64_u64(key, self.family.seeds()[i % 2] ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let h = pkg_hash::murmur3::murmur3_64_u64(
+                key,
+                self.family.seeds()[i % 2] ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
             *slot = (h % self.n as u64) as usize;
         }
         &self.buf[..self.d_hot.min(MAX_CHOICES)]
@@ -256,14 +253,10 @@ mod tests {
         let n = 50;
         let m = 200_000;
         let mut plain = crate::pkg::PartialKeyGrouping::new(n, 2, Estimate::local(n), 7);
-        let mut hot =
-            HotAwarePkg::new(n, Estimate::local(n), 0.01, n, 7);
+        let mut hot = HotAwarePkg::new(n, Estimate::local(n), 0.01, n, 7);
         let i_plain = imbalance(&skewed_loads(&mut plain, n, m, 0.2));
         let i_hot = imbalance(&skewed_loads(&mut hot, n, m, 0.2));
-        assert!(
-            i_hot < i_plain / 4.0,
-            "hot-aware {i_hot} must be far below plain PKG {i_plain}"
-        );
+        assert!(i_hot < i_plain / 4.0, "hot-aware {i_hot} must be far below plain PKG {i_plain}");
     }
 
     #[test]
@@ -306,11 +299,7 @@ mod tests {
                 seen.insert(w);
             }
         }
-        assert!(
-            seen.len() <= d_hot,
-            "hot key touched {} workers, d_hot = {d_hot}",
-            seen.len()
-        );
+        assert!(seen.len() <= d_hot, "hot key touched {} workers, d_hot = {d_hot}", seen.len());
         assert!(seen.len() > 2, "hot key should use more than two workers");
     }
 

@@ -110,9 +110,7 @@ impl SchemeSpec {
     ) -> Box<dyn Partitioner> {
         match self {
             SchemeSpec::KeyGrouping => Box::new(KeyGrouping::new(n, seed)),
-            SchemeSpec::ShuffleGrouping => {
-                Box::new(ShuffleGrouping::with_offset(n, source_index))
-            }
+            SchemeSpec::ShuffleGrouping => Box::new(ShuffleGrouping::with_offset(n, source_index)),
             SchemeSpec::Pkg { d, estimate } => {
                 Box::new(PartialKeyGrouping::new(n, *d, estimate.build(n, shared), seed))
             }
@@ -144,10 +142,7 @@ mod tests {
     fn labels() {
         assert_eq!(SchemeSpec::KeyGrouping.label(), "H");
         assert_eq!(SchemeSpec::pkg(EstimateKind::Local).label(), "PKG-L");
-        assert_eq!(
-            SchemeSpec::Pkg { d: 5, estimate: EstimateKind::Global }.label(),
-            "PKG5-G"
-        );
+        assert_eq!(SchemeSpec::Pkg { d: 5, estimate: EstimateKind::Global }.label(), "PKG5-G");
         assert_eq!(SchemeSpec::OffGreedy.label(), "Off-Greedy");
     }
 

@@ -158,10 +158,7 @@ mod tests {
         let i_kg = imbalance(&loads_kg);
         // KG piles the hot key (30% of m) on one worker: I ≈ 0.3m − m/n.
         // PKG splits it over two: I ≈ max(0.15m, m/n) − m/n, at least 3x less.
-        assert!(
-            i_pkg < i_kg / 3.0,
-            "PKG imbalance {i_pkg} not ≪ KG imbalance {i_kg}"
-        );
+        assert!(i_pkg < i_kg / 3.0, "PKG imbalance {i_pkg} not ≪ KG imbalance {i_kg}");
     }
 
     #[test]

@@ -105,8 +105,14 @@ mod tests {
                 break;
             }
         }
-        let l0 = match p.estimate { Estimate::Local(ref v) => v[cands[0]], _ => unreachable!() };
-        let l1 = match p.estimate { Estimate::Local(ref v) => v[cands[1]], _ => unreachable!() };
+        let l0 = match p.estimate {
+            Estimate::Local(ref v) => v[cands[0]],
+            _ => unreachable!(),
+        };
+        let l1 = match p.estimate {
+            Estimate::Local(ref v) => v[cands[1]],
+            _ => unreachable!(),
+        };
         let w = p.route(key, 0);
         let expected = if l1 < l0 { cands[1] } else { cands[0] };
         assert_eq!(w, expected);

@@ -127,10 +127,7 @@ mod tests {
         for (i, &w) in weights.iter().enumerate() {
             let expect = w / 100.0;
             let emp = counts[i] as f64 / n as f64;
-            assert!(
-                (emp - expect).abs() < 0.01,
-                "category {i}: {emp} vs {expect}"
-            );
+            assert!((emp - expect).abs() < 0.01, "category {i}: {emp} vs {expect}");
         }
     }
 

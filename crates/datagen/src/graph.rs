@@ -47,10 +47,7 @@ impl GraphParams {
     pub fn validate(&self) {
         assert!(self.alpha >= 0.0 && self.beta >= 0.0, "probabilities must be non-negative");
         assert!(self.alpha + self.beta <= 1.0, "alpha + beta must be at most 1");
-        assert!(
-            (0.0..=1.0).contains(&self.uniform_mix),
-            "uniform_mix must be a probability"
-        );
+        assert!((0.0..=1.0).contains(&self.uniform_mix), "uniform_mix must be a probability");
         assert!(self.vertices_per_edge() > 0.0, "alpha + gamma must be positive");
     }
 }
@@ -71,12 +68,7 @@ impl GraphState {
     /// first generated edge already has valid attachment targets).
     pub fn new(params: &GraphParams) -> Self {
         params.validate();
-        Self {
-            params: *params,
-            in_endpoints: vec![1],
-            out_endpoints: vec![0],
-            nodes: 2,
-        }
+        Self { params: *params, in_endpoints: vec![1], out_endpoints: vec![0], nodes: 2 }
     }
 
     /// Vertices created so far.

@@ -11,7 +11,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::zipf::ZipfTable;
 
-const CONSONANTS: [char; 14] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
+const CONSONANTS: [char; 14] =
+    ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z'];
 const VOWELS: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
 
 /// Deterministic unique pseudo-word for a vocabulary rank: the rank is

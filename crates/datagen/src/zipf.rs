@@ -57,10 +57,7 @@ pub fn harmonic(k: u64, s: f64) -> f64 {
 /// `1/k < p1 < 1`).
 pub fn fit_exponent(k: u64, p1: f64) -> f64 {
     assert!(k >= 2, "need at least two keys");
-    assert!(
-        p1 > 1.0 / k as f64 && p1 < 1.0,
-        "p1 = {p1} not attainable with k = {k} keys"
-    );
+    assert!(p1 > 1.0 / k as f64 && p1 < 1.0, "p1 = {p1} not attainable with k = {k} keys");
     // p1(s) = 1/H_{k,s} is strictly increasing in s: at s=0, H=k (p1=1/k);
     // as s→∞, H→1 (p1→1).
     let (mut lo, mut hi) = (0.0f64, 16.0f64);
@@ -248,10 +245,7 @@ mod tests {
         for (k, p1) in [(2_900u64, 0.0329), (16_000, 0.1471), (290_000, 0.0932)] {
             let s = fit_exponent(k, p1);
             let achieved = 1.0 / harmonic(k, s);
-            assert!(
-                (achieved - p1).abs() / p1 < 1e-6,
-                "k={k} target={p1} achieved={achieved}"
-            );
+            assert!((achieved - p1).abs() / p1 < 1e-6, "k={k} target={p1} achieved={achieved}");
         }
     }
 

@@ -63,7 +63,11 @@ impl Emitter<'_> {
             return;
         }
         for i in 0..n_edges {
-            let t = if i + 1 == n_edges { std::mem::replace(&mut tuple, Tuple::new(Vec::new(), 0)) } else { tuple.clone() };
+            let t = if i + 1 == n_edges {
+                std::mem::replace(&mut tuple, Tuple::new(Vec::new(), 0))
+            } else {
+                tuple.clone()
+            };
             let edge = &mut self.edges[i];
             match edge.router.route(key_id) {
                 Target::One(w) => {
@@ -83,6 +87,12 @@ impl Emitter<'_> {
     /// Number of tuples emitted by this instance so far.
     pub fn emitted(&self) -> u64 {
         *self.emitted
+    }
+
+    /// An emitter with no outgoing edges: emissions are counted, then
+    /// dropped. For unit-testing bolts outside a running topology.
+    pub fn drop_sink(emitted: &mut u64) -> Emitter<'_> {
+        Emitter { edges: &mut [], inherit_born_ns: 0, now_ns: 1, emitted }
     }
 }
 

@@ -84,7 +84,13 @@ impl Router {
                 pkg: PartialKeyGrouping::new(n, *d, Estimate::local(n), seed),
             },
             Grouping::PartialHot { hot_threshold, d_hot } => RouterKind::PartialHot {
-                pkg: HotAwarePkg::new(n, Estimate::local(n), *hot_threshold, (*d_hot).min(n).max(2), seed),
+                pkg: HotAwarePkg::new(
+                    n,
+                    Estimate::local(n),
+                    *hot_threshold,
+                    (*d_hot).min(n).max(2),
+                    seed,
+                ),
             },
             Grouping::Global => RouterKind::Global,
             Grouping::Broadcast => RouterKind::Broadcast,
@@ -157,12 +163,8 @@ mod tests {
     #[test]
     fn partial_hot_spreads_extreme_key_past_two() {
         let n = 16;
-        let mut r = Router::new(
-            &Grouping::PartialHot { hot_threshold: 0.02, d_hot: usize::MAX },
-            n,
-            5,
-            0,
-        );
+        let mut r =
+            Router::new(&Grouping::PartialHot { hot_threshold: 0.02, d_hot: usize::MAX }, n, 5, 0);
         let mut hot_targets = std::collections::HashSet::new();
         for i in 0..20_000u64 {
             // 50% of traffic on key 0, rest unique.

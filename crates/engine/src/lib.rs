@@ -54,7 +54,7 @@ pub mod prelude {
 pub use bolt::{Bolt, Emitter};
 pub use grouping::Grouping;
 pub use metrics::{InstanceStats, RunStats};
-pub use runtime::{Runtime, RuntimeOptions};
+pub use runtime::{edge_seed, Runtime, RuntimeOptions};
 pub use spout::Spout;
 pub use topology::Topology;
 pub use tuple::Tuple;

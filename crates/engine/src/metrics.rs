@@ -42,11 +42,7 @@ pub struct RunStats {
 impl RunStats {
     /// Total tuples processed by a component.
     pub fn processed(&self, component: &str) -> u64 {
-        self.instances
-            .iter()
-            .filter(|i| i.component == component)
-            .map(|i| i.processed)
-            .sum()
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.processed).sum()
     }
 
     /// Total tuples emitted by a component.
@@ -88,29 +84,17 @@ impl RunStats {
 
     /// Sum of final state sizes of a component (total live counters).
     pub fn final_state(&self, component: &str) -> usize {
-        self.instances
-            .iter()
-            .filter(|i| i.component == component)
-            .map(|i| i.final_state)
-            .sum()
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.final_state).sum()
     }
 
     /// Sum of per-instance *average* state sizes — the "average memory
     /// (counters)" axis of Fig. 5(b).
     pub fn avg_state(&self, component: &str) -> f64 {
-        self.instances
-            .iter()
-            .filter(|i| i.component == component)
-            .map(|i| i.avg_state)
-            .sum()
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.avg_state).sum()
     }
 
     /// Sum of per-instance maximum state sizes.
     pub fn max_state(&self, component: &str) -> usize {
-        self.instances
-            .iter()
-            .filter(|i| i.component == component)
-            .map(|i| i.max_state)
-            .sum()
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.max_state).sum()
     }
 }

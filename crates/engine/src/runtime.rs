@@ -30,6 +30,14 @@ impl Default for RuntimeOptions {
     }
 }
 
+/// The hash seed every sender on the edge `from → to` derives its routing
+/// from (`from`/`to` are component indices in topology insertion order).
+/// Exposed so out-of-engine replays — e.g. the single-phase parity oracle
+/// in `pkg-apps::heavy_hitters` — can reproduce a run's routing exactly.
+pub fn edge_seed(runtime_seed: u64, from: usize, to: usize) -> u64 {
+    fmix64(runtime_seed ^ ((from as u64) << 32 | to as u64))
+}
+
 /// Executes topologies.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Runtime {
@@ -84,8 +92,11 @@ impl Runtime {
             vec![Vec::new(); n_components];
         for (to, c) in topology.components.iter().enumerate() {
             for (from, grouping) in &c.inputs {
-                let edge_seed = fmix64(self.opts.seed ^ ((from.0 as u64) << 32 | to as u64));
-                out_edges[from.0].push((to, grouping.clone(), edge_seed));
+                out_edges[from.0].push((
+                    to,
+                    grouping.clone(),
+                    edge_seed(self.opts.seed, from.0, to),
+                ));
             }
         }
 
@@ -186,9 +197,8 @@ mod tests {
     fn single_spout_single_bolt_counts_everything() {
         let mut t = Topology::new();
         let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(5_000, 17)));
-        let _ = t
-            .add_bolt("count", 4, |_| Box::new(CountingBolt::default()))
-            .input(s, Grouping::Key);
+        let _ =
+            t.add_bolt("count", 4, |_| Box::new(CountingBolt::default())).input(s, Grouping::Key);
         let stats = Runtime::new().run(t);
         assert_eq!(stats.processed("src"), 5_000);
         assert_eq!(stats.processed("count"), 5_000);
@@ -225,13 +235,12 @@ mod tests {
         }
         let mut t = Topology::new();
         let s = t.add_spout("src", 2, |_| spout_from_iter(word_stream(2_000, 11)));
-        let tag = t
-            .add_bolt("tag", 4, |i| Box::new(TagBolt { me: i }))
-            .input(s, Grouping::Key)
-            .id();
+        let tag =
+            t.add_bolt("tag", 4, |i| Box::new(TagBolt { me: i })).input(s, Grouping::Key).id();
         let _sink = t
             .add_bolt("sink", 1, |_| Box::new(CollectBolt::default()))
-            .input(tag, Grouping::Global).id();
+            .input(tag, Grouping::Global)
+            .id();
 
         #[derive(Default)]
         struct CollectBolt {
@@ -286,8 +295,7 @@ mod tests {
         let _ = t
             .add_bolt("count", 4, |_| Box::new(CountingBolt::default()))
             .input(s, Grouping::partial_key());
-        let stats =
-            Runtime::with_options(RuntimeOptions { channel_capacity: 1024, seed }).run(t);
+        let stats = Runtime::with_options(RuntimeOptions { channel_capacity: 1024, seed }).run(t);
         let loads = stats.loads("count");
         let max = *loads.iter().max().expect("non-empty");
         // KG would put ≥ 6000 on one instance; PKG splits the hot key over
@@ -334,9 +342,8 @@ mod tests {
             .input(s, Grouping::Global)
             .tick_every(Duration::from_millis(5))
             .id();
-        let _ = t
-            .add_bolt("sum", 1, |_| Box::new(CountingBolt::default()))
-            .input(f, Grouping::Global);
+        let _ =
+            t.add_bolt("sum", 1, |_| Box::new(CountingBolt::default())).input(f, Grouping::Global);
         let stats = Runtime::new().run(t);
         // Conservation through flushing: all 200 units arrive at the sink.
         let sink = stats.instances.iter().find(|i| i.component == "sum").expect("sink exists");
@@ -350,9 +357,8 @@ mod tests {
     fn latency_is_recorded_at_bolts() {
         let mut t = Topology::new();
         let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(1_000, 5)));
-        let _ = t
-            .add_bolt("count", 2, |_| Box::new(CountingBolt::default()))
-            .input(s, Grouping::Key);
+        let _ =
+            t.add_bolt("count", 2, |_| Box::new(CountingBolt::default())).input(s, Grouping::Key);
         let stats = Runtime::new().run(t);
         let lat = stats.latency("count");
         assert_eq!(lat.count(), 1_000);
@@ -365,19 +371,15 @@ mod tests {
         let mut t = Topology::new();
         let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(2_000, 3)));
         let _ = t
-            .add_bolt(
-                "slow",
-                1,
-                |_| {
-                    struct SlowBolt;
-                    impl Bolt for SlowBolt {
-                        fn execute(&mut self, _t: Tuple, _out: &mut Emitter<'_>) {
-                            std::hint::black_box(0u64);
-                        }
+            .add_bolt("slow", 1, |_| {
+                struct SlowBolt;
+                impl Bolt for SlowBolt {
+                    fn execute(&mut self, _t: Tuple, _out: &mut Emitter<'_>) {
+                        std::hint::black_box(0u64);
                     }
-                    Box::new(SlowBolt)
-                },
-            )
+                }
+                Box::new(SlowBolt)
+            })
             .input(s, Grouping::Shuffle);
         let stats = Runtime::with_options(RuntimeOptions { channel_capacity: 4, seed: 1 }).run(t);
         assert_eq!(stats.processed("slow"), 2_000);

@@ -144,9 +144,8 @@ mod tests {
         let s = t.add_spout("s", 2, |_| spout_from_iter(Vec::new()));
         let b =
             t.add_bolt("b", 3, |_| Box::new(CountingBolt::default())).input(s, Grouping::Key).id();
-        let _ = t
-            .add_bolt("agg", 1, |_| Box::new(CountingBolt::default()))
-            .input(b, Grouping::Global);
+        let _ =
+            t.add_bolt("agg", 1, |_| Box::new(CountingBolt::default())).input(b, Grouping::Global);
         t.validate();
         assert_eq!(t.components.len(), 3);
         assert_eq!(t.components[1].inputs.len(), 1);
@@ -165,7 +164,8 @@ mod tests {
     fn duplicate_names_are_invalid() {
         let mut t = Topology::new();
         let s = t.add_spout("x", 1, |_| spout_from_iter(Vec::new()));
-        let _ = t.add_bolt("x", 1, |_| Box::new(CountingBolt::default())).input(s, Grouping::Shuffle);
+        let _ =
+            t.add_bolt("x", 1, |_| Box::new(CountingBolt::default())).input(s, Grouping::Shuffle);
         t.validate();
     }
 }

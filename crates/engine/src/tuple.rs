@@ -8,6 +8,10 @@ pub struct Tuple {
     pub key: Box<[u8]>,
     /// Payload value (counts, deltas; applications interpret it).
     pub value: i64,
+    /// Opaque application bytes riding along with the tuple — empty (and
+    /// allocation-free) for plain tuples. The aggregation subsystem
+    /// (`pkg-agg`) ships encoded partial aggregates here.
+    pub payload: Box<[u8]>,
     /// Nanoseconds since the runtime epoch at which the tuple entered the
     /// topology (stamped by the spout executor; preserved across bolts so
     /// sink latency is end-to-end).
@@ -17,7 +21,17 @@ pub struct Tuple {
 impl Tuple {
     /// A tuple with an unset birth timestamp (the spout executor stamps it).
     pub fn new(key: impl Into<Box<[u8]>>, value: i64) -> Self {
-        Self { key: key.into(), value, born_ns: 0 }
+        Self { key: key.into(), value, payload: Box::default(), born_ns: 0 }
+    }
+
+    /// A tuple carrying opaque payload bytes (e.g. an encoded partial
+    /// aggregate).
+    pub fn with_payload(
+        key: impl Into<Box<[u8]>>,
+        value: i64,
+        payload: impl Into<Box<[u8]>>,
+    ) -> Self {
+        Self { key: key.into(), value, payload: payload.into(), born_ns: 0 }
     }
 
     /// Key as UTF-8, if it is (diagnostics/tests).

@@ -180,14 +180,8 @@ mod tests {
             murmur3_128(b"foo", 0),
             ((-2_129_773_440_516_405_919_i64) as u64, 9_128_664_383_759_220_103)
         );
-        assert_eq!(
-            murmur3_128(b"hello", 0),
-            (0xcbd8_a7b3_41bd_9b02, 0x5b1e_906a_48ae_1d19)
-        );
-        assert_eq!(
-            murmur3_128(b"hello, world", 0),
-            (0x342f_ac62_3a5e_bc8e, 0x4cdc_bc07_9642_414d)
-        );
+        assert_eq!(murmur3_128(b"hello", 0), (0xcbd8_a7b3_41bd_9b02, 0x5b1e_906a_48ae_1d19));
+        assert_eq!(murmur3_128(b"hello, world", 0), (0x342f_ac62_3a5e_bc8e, 0x4cdc_bc07_9642_414d));
         assert_eq!(
             murmur3_128(b"19 Jan 2038 at 3:14:07 AM", 0),
             (0xb89e_5988_b737_affc, 0x664f_c295_0231_b2cb)
@@ -200,10 +194,7 @@ mod tests {
 
     #[test]
     fn x64_128_with_seed() {
-        assert_eq!(
-            murmur3_128(b"hello", 1),
-            (0xa78d_dff5_adae_8d10, 0x1289_00ef_2090_0135)
-        );
+        assert_eq!(murmur3_128(b"hello", 1), (0xa78d_dff5_adae_8d10, 0x1289_00ef_2090_0135));
         // Seeded digests must differ from unseeded ones.
         assert_ne!(murmur3_128(b"hello", 1), murmur3_128(b"hello", 0));
     }

@@ -139,10 +139,7 @@ impl HashFamily {
     /// simply behaves like a key-grouped key.
     #[inline]
     pub fn choices<K: StreamKey + ?Sized>(&self, key: &K, n: usize) -> Vec<usize> {
-        self.seeds
-            .iter()
-            .map(|&s| (key.hash_seeded(s) % n as u64) as usize)
-            .collect()
+        self.seeds.iter().map(|&s| (key.hash_seeded(s) % n as u64) as usize).collect()
     }
 
     /// Write all candidates into `out` (no allocation); returns the filled

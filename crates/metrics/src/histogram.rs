@@ -24,14 +24,7 @@ impl LatencyHistogram {
     pub fn new(sub_bits: u32) -> Self {
         assert!((1..=8).contains(&sub_bits), "sub_bits must be in 1..=8");
         let buckets = (64 - sub_bits as usize) << sub_bits;
-        Self {
-            sub_bits,
-            counts: vec![0; buckets],
-            total: 0,
-            sum: 0,
-            max: 0,
-            min: u64::MAX,
-        }
+        Self { sub_bits, counts: vec![0; buckets], total: 0, sum: 0, max: 0, min: u64::MAX }
     }
 
     #[inline]

@@ -77,6 +77,17 @@ impl Welford {
         }
     }
 
+    /// The raw state `(n, mean, m2, min, max)` — for serializing an
+    /// accumulator across a process or topology edge (see `pkg-agg`).
+    pub fn to_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild from [`Self::to_parts`] output.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self { n, mean, m2, min, max }
+    }
+
     /// Merge another accumulator (Chan's parallel combination).
     pub fn merge(&mut self, other: &Self) {
         if other.n == 0 {
@@ -89,8 +100,7 @@ impl Welford {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;

@@ -1,0 +1,221 @@
+//! Second-phase aggregation modeling for the simulator.
+//!
+//! The paper's §V-D observation is that PKG's benefit is not free: partial
+//! results must be merged downstream, and the aggregation period `T` trades
+//! message overhead (short periods flush often) against memory and
+//! staleness (long periods buffer more, deliver later). The engine measures
+//! this live (Fig. 5); this module measures it at simulation scale, where
+//! millions of messages and the full scheme grid are affordable.
+//!
+//! Each worker runs a [`TumblingWindow`] of [`Count`] partials over stream
+//! time. When a pane closes, the worker "sends" one merge message per
+//! buffered key to the aggregator; the aggregator's per-window state is the
+//! number of distinct keys it hears about in that pane (PKG sends ≤ 2
+//! partials per key, KG exactly 1, shuffle up to `W` — but they dedupe into
+//! the same per-key slot, which is why aggregator state is scheme-stable
+//! while *message* overhead is not). Staleness is how long the average
+//! observation waited in a window buffer before its flush.
+
+use pkg_agg::{Count, TumblingWindow};
+use pkg_hash::{FxHashMap, FxHashSet};
+use pkg_metrics::Welford;
+
+use crate::report::AggregationStats;
+
+/// Tracks the two-phase aggregation overhead of one simulation run.
+#[derive(Debug)]
+pub struct AggregationSim {
+    period_ms: u64,
+    windows: Vec<TumblingWindow<u64, Count>>,
+    merge_messages: u64,
+    /// Entries per worker window at flush time.
+    worker_state: Welford,
+    max_worker_state: usize,
+    /// Distinct keys the aggregator holds per pane (across workers) — only
+    /// for panes some worker may still flush into. Panes behind every
+    /// worker's open pane are folded into `agg_state`/`finalized_panes` and
+    /// dropped, so live bookkeeping is O(workers' pane spread), not
+    /// O(total panes).
+    pane_keys: FxHashMap<u64, FxHashSet<u64>>,
+    /// Distinct-keys-per-pane accumulator over finalized panes.
+    agg_state: Welford,
+    /// Panes finalized so far.
+    finalized_panes: u64,
+    staleness_total_ms: f64,
+    observations: u64,
+}
+
+impl AggregationSim {
+    /// Model `workers` phase-one windows flushing every `period_ms` of
+    /// stream time.
+    pub fn new(workers: usize, period_ms: u64) -> Self {
+        assert!(period_ms >= 1, "aggregation period must be positive");
+        Self {
+            period_ms,
+            windows: (0..workers).map(|_| TumblingWindow::new(period_ms)).collect(),
+            merge_messages: 0,
+            worker_state: Welford::new(),
+            max_worker_state: 0,
+            pane_keys: FxHashMap::default(),
+            agg_state: Welford::new(),
+            finalized_panes: 0,
+            staleness_total_ms: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// The configured period.
+    pub fn period_ms(&self) -> u64 {
+        self.period_ms
+    }
+
+    /// Record one routed message.
+    #[inline]
+    pub fn record(&mut self, worker: usize, key: u64, ts_ms: u64) {
+        if let Some(pane) = self.windows[worker].insert(key, key, 1, ts_ms) {
+            let flush_ts = pane.end;
+            self.close_pane(pane, flush_ts);
+            self.finalize_settled_panes();
+        }
+    }
+
+    fn close_pane(&mut self, pane: pkg_agg::Pane<u64, Count>, flush_ts: u64) {
+        let entries = pane.accs.len();
+        self.merge_messages += entries as u64;
+        self.worker_state.add(entries as f64);
+        self.max_worker_state = self.max_worker_state.max(entries);
+        self.staleness_total_ms += pane.staleness_total(flush_ts);
+        self.observations += pane.inserted;
+        let keys = self.pane_keys.entry(pane.index).or_default();
+        for key in pane.accs.keys() {
+            keys.insert(*key);
+        }
+    }
+
+    /// Fold and drop the key sets of panes no worker can flush into
+    /// anymore: stream time is monotone, so every future flush lands at or
+    /// after each worker's open pane. Runs only when some pane closes —
+    /// O(workers) per closed pane.
+    fn finalize_settled_panes(&mut self) {
+        let frontier = self.windows.iter().filter_map(TumblingWindow::current_pane_index).min();
+        let Some(frontier) = frontier else { return };
+        let settled: Vec<u64> =
+            self.pane_keys.keys().copied().filter(|&idx| idx < frontier).collect();
+        for idx in settled {
+            let keys = self.pane_keys.remove(&idx).expect("index from keys()");
+            self.agg_state.add(keys.len() as f64);
+            self.finalized_panes += 1;
+        }
+    }
+
+    /// Flush the open windows (end of stream at `duration_ms`) and fold the
+    /// bookkeeping into an [`AggregationStats`].
+    pub fn finish(mut self, duration_ms: u64) -> AggregationStats {
+        for mut w in std::mem::take(&mut self.windows) {
+            if let Some(pane) = w.flush() {
+                // The final flush happens when the stream ends, which may be
+                // before the pane's nominal boundary.
+                let flush_ts = duration_ms.max(pane.start);
+                self.close_pane(pane, flush_ts);
+            }
+        }
+        for keys in std::mem::take(&mut self.pane_keys).into_values() {
+            self.agg_state.add(keys.len() as f64);
+            self.finalized_panes += 1;
+        }
+        AggregationStats {
+            period_ms: self.period_ms,
+            windows: self.finalized_panes,
+            merge_messages: self.merge_messages,
+            merge_fraction: if self.observations == 0 {
+                0.0
+            } else {
+                self.merge_messages as f64 / self.observations as f64
+            },
+            avg_worker_state: self.worker_state.mean(),
+            max_worker_state: self.max_worker_state,
+            avg_aggregator_state: self.agg_state.mean(),
+            max_aggregator_state: self.agg_state.max() as usize,
+            avg_staleness_ms: if self.observations == 0 {
+                0.0
+            } else {
+                self.staleness_total_ms / self.observations as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_single_key_accounting() {
+        let mut sim = AggregationSim::new(1, 100);
+        // Ten messages for one key in pane 0, flushed by a pane-1 arrival.
+        for i in 0..10u64 {
+            sim.record(0, 7, i * 10);
+        }
+        sim.record(0, 7, 150);
+        let stats = sim.finish(200);
+        assert_eq!(stats.windows, 2);
+        assert_eq!(stats.merge_messages, 2, "one key flushed from each pane");
+        assert_eq!(stats.max_worker_state, 1);
+        assert_eq!(stats.avg_aggregator_state, 1.0);
+        // Pane 0: messages at 0,10,…,90 flushed at 100 → mean wait 55.
+        // Pane 1: one message at 150 flushed at 200 → wait 50.
+        let want = (10.0 * 55.0 + 50.0) / 11.0;
+        assert!((stats.avg_staleness_ms - want).abs() < 1e-9, "{}", stats.avg_staleness_ms);
+    }
+
+    #[test]
+    fn split_keys_cost_extra_merge_messages() {
+        // The same 100 messages over 2 keys: on one worker → 2 merge
+        // messages; split across two workers (PKG-style) → 4.
+        let mut kg = AggregationSim::new(2, 1_000);
+        let mut pkg = AggregationSim::new(2, 1_000);
+        for i in 0..100u64 {
+            kg.record(0, i % 2, i);
+            pkg.record((i % 2) as usize, i % 2, i);
+            pkg.record(((i + 1) % 2) as usize, i % 2, i);
+        }
+        let kg = kg.finish(1_000);
+        let pkg = pkg.finish(1_000);
+        assert_eq!(kg.merge_messages, 2);
+        assert_eq!(pkg.merge_messages, 4);
+        // Both aggregators end up holding the same two keys per window.
+        assert_eq!(kg.max_aggregator_state, 2);
+        assert_eq!(pkg.max_aggregator_state, 2);
+    }
+
+    #[test]
+    fn settled_panes_are_dropped_from_live_bookkeeping() {
+        let mut sim = AggregationSim::new(4, 10);
+        // Interleaved traffic keeps every worker's open pane near the
+        // stream head, so all but the open panes finalize as we go.
+        for i in 0..100_000u64 {
+            sim.record((i % 4) as usize, i % 9, i / 10);
+        }
+        assert!(
+            sim.pane_keys.len() <= 2,
+            "live pane sets must stay bounded, got {}",
+            sim.pane_keys.len()
+        );
+        let stats = sim.finish(10_000);
+        assert_eq!(stats.windows, 1_000, "every pane of the 10k ms stream is counted");
+        assert_eq!(stats.avg_aggregator_state, 9.0);
+    }
+
+    #[test]
+    fn longer_periods_send_fewer_merge_messages() {
+        let run = |period: u64| {
+            let mut sim = AggregationSim::new(4, period);
+            for i in 0..50_000u64 {
+                sim.record((i % 4) as usize, i % 97, i / 5);
+            }
+            sim.finish(10_000).merge_messages
+        };
+        let (short, long) = (run(100), run(2_000));
+        assert!(long < short, "T=2000 sent {long}, T=100 sent {short}");
+    }
+}

@@ -26,12 +26,14 @@
 //! assert!(report.avg_fraction < 0.01); // PKG balances this stream well
 //! ```
 
+pub mod aggregation;
 pub mod report;
 pub mod simulation;
 pub mod source;
 pub mod sweep;
 
-pub use report::{ReplicationStats, SimReport};
+pub use aggregation::AggregationSim;
+pub use report::{AggregationStats, ReplicationStats, SimReport};
 pub use simulation::{run, SimConfig};
 pub use source::SourceAssignment;
 pub use sweep::run_parallel;

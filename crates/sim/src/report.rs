@@ -18,6 +18,35 @@ pub struct ReplicationStats {
     pub max: u32,
 }
 
+/// Second-phase aggregation overhead (§V-D / Fig. 5): what the periodic
+/// flush-and-merge of partial results costs, as a function of the
+/// aggregation period `T`. Produced when [`crate::SimConfig`] enables
+/// aggregation modeling.
+#[derive(Debug, Clone)]
+pub struct AggregationStats {
+    /// The aggregation period `T` in stream-time milliseconds.
+    pub period_ms: u64,
+    /// Distinct window panes observed.
+    pub windows: u64,
+    /// Merge messages sent worker → aggregator (one per buffered key per
+    /// pane flush).
+    pub merge_messages: u64,
+    /// `merge_messages / messages` — aggregation traffic per stream
+    /// message.
+    pub merge_fraction: f64,
+    /// Mean per-worker window entries at flush (phase-one memory).
+    pub avg_worker_state: f64,
+    /// Largest per-worker window observed.
+    pub max_worker_state: usize,
+    /// Mean distinct keys per pane at the aggregator (phase-two memory).
+    pub avg_aggregator_state: f64,
+    /// Largest aggregator pane observed.
+    pub max_aggregator_state: usize,
+    /// Mean time an observation waited in a window buffer before its flush
+    /// (per-window staleness).
+    pub avg_staleness_ms: f64,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -47,6 +76,8 @@ pub struct SimReport {
     pub worker_loads: Vec<u64>,
     /// Replication stats, when tracking was enabled.
     pub replication: Option<ReplicationStats>,
+    /// Aggregation-overhead stats, when aggregation modeling was enabled.
+    pub aggregation: Option<AggregationStats>,
     /// Wall-clock duration of the simulation.
     pub wall_time: Duration,
 }
@@ -54,17 +85,30 @@ pub struct SimReport {
 impl SimReport {
     /// Header for [`Self::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "dataset\tscheme\tworkers\tsources\tmessages\tavg_imbalance\tfinal_imbalance\tavg_fraction\tfinal_fraction\tavg_replication\ttotal_pairs"
+        "dataset\tscheme\tworkers\tsources\tmessages\tavg_imbalance\tfinal_imbalance\tavg_fraction\tfinal_fraction\tavg_replication\ttotal_pairs\tagg_period_ms\tmerge_msgs\tmerge_fraction\tavg_worker_window\tavg_agg_keys\tstaleness_ms"
     }
 
-    /// One tab-separated row (replication columns empty when not tracked).
+    /// One tab-separated row (replication and aggregation columns empty
+    /// when not tracked).
     pub fn tsv_row(&self) -> String {
         let (avg_rep, pairs) = match &self.replication {
             Some(r) => (format!("{:.4}", r.avg), r.total_pairs.to_string()),
             None => (String::new(), String::new()),
         };
+        let agg = match &self.aggregation {
+            Some(a) => format!(
+                "{}\t{}\t{:.4}\t{:.1}\t{:.1}\t{:.1}",
+                a.period_ms,
+                a.merge_messages,
+                a.merge_fraction,
+                a.avg_worker_state,
+                a.avg_aggregator_state,
+                a.avg_staleness_ms
+            ),
+            None => "\t\t\t\t\t".to_string(),
+        };
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{}\t{}\t{}",
             self.dataset,
             self.scheme,
             self.workers,
@@ -75,7 +119,8 @@ impl SimReport {
             self.avg_fraction,
             self.final_fraction,
             avg_rep,
-            pairs
+            pairs,
+            agg
         )
     }
 }

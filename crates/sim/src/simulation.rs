@@ -7,8 +7,9 @@ use pkg_core::{KeyFrequencies, Partitioner, ReplicationTracker, SchemeSpec, Shar
 use pkg_datagen::StreamSpec;
 use pkg_metrics::{LoadVector, TimeSeries, Welford};
 
+use crate::aggregation::AggregationSim;
 use crate::report::{ReplicationStats, SimReport};
-use crate::source::{SourceAssignment, SourceAssigner};
+use crate::source::{SourceAssigner, SourceAssignment};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone)]
@@ -33,6 +34,10 @@ pub struct SimConfig {
     /// Track distinct (key, worker) pairs (costs one hash-map op per
     /// message; off for the big sweeps, on for memory experiments).
     pub track_replication: bool,
+    /// Model the second aggregation phase with this period `T` in
+    /// stream-time milliseconds (§V-D): per-worker tumbling windows whose
+    /// flushes feed a downstream aggregator. `None` skips the modeling.
+    pub aggregation_period_ms: Option<u64>,
 }
 
 impl SimConfig {
@@ -48,6 +53,7 @@ impl SimConfig {
             assignment: SourceAssignment::RoundRobin,
             snapshots: 1_000,
             track_replication: false,
+            aggregation_period_ms: None,
         }
     }
 
@@ -67,6 +73,12 @@ impl SimConfig {
     /// Builder: enable replication tracking.
     pub fn with_replication(mut self) -> Self {
         self.track_replication = true;
+        self
+    }
+
+    /// Builder: model the aggregation phase with period `period_ms`.
+    pub fn with_aggregation(mut self, period_ms: u64) -> Self {
+        self.aggregation_period_ms = Some(period_ms.max(1));
         self
     }
 
@@ -105,6 +117,8 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
     let mut series = TimeSeries::new(2_048);
     let mut avg_imb = Welford::new();
     let mut tracker = cfg.track_replication.then(ReplicationTracker::new);
+    let mut aggsim =
+        cfg.aggregation_period_ms.map(|period| AggregationSim::new(cfg.workers, period));
 
     let total = spec.messages();
     let snap_every = (total / cfg.snapshots).max(1);
@@ -118,6 +132,9 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         loads.record(w, 1);
         if let Some(t) = tracker.as_mut() {
             t.record(msg.key, w);
+        }
+        if let Some(a) = aggsim.as_mut() {
+            a.record(w, msg.key, msg.ts_ms);
         }
         until_snap -= 1;
         if until_snap == 0 {
@@ -159,6 +176,7 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         series,
         worker_loads: loads.loads().to_vec(),
         replication,
+        aggregation: aggsim.map(|a| a.finish(spec.duration_ms())),
         wall_time: started.elapsed(),
     }
 }
@@ -196,9 +214,8 @@ mod tests {
     fn q1_ordering_pkg_beats_potc_beats_hashing() {
         // The qualitative content of Table II on a skewed stream.
         let spec = small_spec();
-        let run_scheme = |scheme: SchemeSpec| {
-            run(&spec, &SimConfig::new(5, 1, scheme)).avg_imbalance
-        };
+        let run_scheme =
+            |scheme: SchemeSpec| run(&spec, &SimConfig::new(5, 1, scheme)).avg_imbalance;
         let h = run_scheme(SchemeSpec::KeyGrouping);
         let potc = run_scheme(SchemeSpec::StaticPotc { estimate: EstimateKind::Global });
         let pkg = run_scheme(SchemeSpec::pkg(EstimateKind::Global));
@@ -232,8 +249,7 @@ mod tests {
     #[test]
     fn replication_tracking_reports_pkg_bound() {
         let spec = small_spec();
-        let cfg =
-            SimConfig::new(8, 2, SchemeSpec::pkg(EstimateKind::Local)).with_replication();
+        let cfg = SimConfig::new(8, 2, SchemeSpec::pkg(EstimateKind::Local)).with_replication();
         let r = run(&spec, &cfg);
         let rep = r.replication.expect("tracking enabled");
         assert!(rep.max <= 2, "PKG must never spread a key past 2 workers");
@@ -250,6 +266,45 @@ mod tests {
         let r = run(&spec, &cfg);
         // Fraction of imbalance stays small despite skewed sources.
         assert!(r.avg_fraction < 0.02, "avg fraction = {}", r.avg_fraction);
+    }
+
+    #[test]
+    fn aggregation_overhead_trades_messages_for_staleness() {
+        let spec = small_spec();
+        let run_t = |period_ms: u64| {
+            let cfg = SimConfig::new(5, 2, SchemeSpec::pkg(EstimateKind::Local))
+                .with_aggregation(period_ms);
+            run(&spec, &cfg).aggregation.expect("aggregation modeled")
+        };
+        let short = run_t(spec.duration_ms() / 200);
+        let long = run_t(spec.duration_ms() / 5);
+        // §V-D: longer periods send fewer merge messages …
+        assert!(
+            long.merge_messages < short.merge_messages,
+            "T long sent {} vs short {}",
+            long.merge_messages,
+            short.merge_messages
+        );
+        // … but buffer more per window and deliver staler results.
+        assert!(long.avg_worker_state > short.avg_worker_state);
+        assert!(long.avg_staleness_ms > short.avg_staleness_ms);
+        // Conservation: every message waits somewhere, every key reaches
+        // the aggregator.
+        assert!(short.merge_fraction <= 2.0, "PKG sends at most 2 partials per key-window");
+        assert!(long.windows >= 1 && short.windows > long.windows);
+    }
+
+    #[test]
+    fn aggregation_columns_render_in_tsv() {
+        let spec = small_spec();
+        let cfg =
+            SimConfig::new(4, 1, SchemeSpec::KeyGrouping).with_aggregation(spec.duration_ms() / 10);
+        let r = run(&spec, &cfg);
+        let header_cols = SimReport::tsv_header().split('\t').count();
+        assert_eq!(r.tsv_row().split('\t').count(), header_cols);
+        // Without aggregation the row still aligns with the header.
+        let r2 = run(&spec, &SimConfig::new(4, 1, SchemeSpec::KeyGrouping));
+        assert_eq!(r2.tsv_row().split('\t').count(), header_cols);
     }
 
     #[test]

@@ -1,53 +1,73 @@
 //! Heavy hitters over a drifting cashtag stream with SPACESAVING + PKG
-//! (§VI-C of the paper).
+//! (§VI-C of the paper), run as a real two-phase topology on the engine.
 //!
-//! Each message is routed by PKG to one of two candidate workers per key;
-//! every worker maintains a SPACESAVING summary of its sub-stream. At query
-//! time, a key's frequency is answered by merging the summaries of its
-//! *two* candidates — so the error bound is two terms, independent of the
-//! number of workers (with shuffle grouping it would be `W` terms).
+//! Phase one: PKG routes each message to one of its two candidate workers;
+//! every worker folds its sub-stream into a SPACESAVING summary (a
+//! `pkg_agg::TopK` accumulator). Phase two: the aggregator merges the
+//! workers' encoded partials with the mergeable-summary combination — so a
+//! key's error bound is the sum of **two** per-summary terms, independent
+//! of the parallelism level (with shuffle grouping it would be `W` terms).
+//!
+//! The same computation as a bare single-phase loop (what this example
+//! hand-rolled before `pkg-agg` existed) produces a byte-identical summary,
+//! which the example verifies.
 //!
 //! ```text
 //! cargo run --release --example heavy_hitters
 //! ```
 
-use partial_key_grouping::apps::SpaceSaving;
+use partial_key_grouping::agg::PartialAgg;
+use partial_key_grouping::apps::heavy_hitters::{
+    final_summary, heavy_hitters_topology, item_id, single_phase_summary, HeavyHittersConfig,
+};
+use partial_key_grouping::engine::{edge_seed, Runtime, RuntimeOptions};
 use partial_key_grouping::prelude::*;
-use pkg_datagen::DatasetProfile;
 
 fn main() {
-    let workers = 8;
-    let spec = DatasetProfile::cashtags().build(42); // 690k msgs, drift included
-    let mut pkg = PartialKeyGrouping::new(workers, 2, Estimate::local(workers), 42);
-    let mut summaries: Vec<SpaceSaving> = (0..workers).map(|_| SpaceSaving::new(256)).collect();
-    let mut exact: std::collections::HashMap<u64, u64> = Default::default();
+    let cfg = HeavyHittersConfig {
+        workers: 8,
+        profile: DatasetProfile::cashtags().with_messages(200_000),
+        ..HeavyHittersConfig::default()
+    };
 
-    for msg in spec.iter(7) {
-        let w = pkg.route(msg.key, msg.ts_ms);
-        summaries[w].offer(msg.key, 1);
-        *exact.entry(msg.key).or_default() += 1;
+    // Run the two-phase topology: source → 8 workers → aggregator.
+    let (topo, collector) = heavy_hitters_topology(&cfg);
+    let stats =
+        Runtime::with_options(RuntimeOptions { channel_capacity: 1024, seed: cfg.engine_seed })
+            .run(topo);
+    let merged = final_summary(&collector).expect("merged summary collected");
+
+    // The pre-pkg-agg single-phase loop computes the identical summary.
+    let oracle = single_phase_summary(&cfg);
+    assert_eq!(merged.encoded(), oracle.encoded(), "two-phase ≡ single-phase, byte for byte");
+
+    // Ground truth + candidate sets for the report.
+    let spec = cfg.profile.build(cfg.stream_seed);
+    let mut exact: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+    for msg in spec.iter(cfg.stream_seed) {
+        let e = exact.entry(item_id(msg.key)).or_insert((msg.key, 0));
+        e.1 += 1;
     }
+    let pkg = PartialKeyGrouping::new(
+        cfg.workers,
+        2,
+        Estimate::local(cfg.workers),
+        edge_seed(cfg.engine_seed, 0, 1),
+    );
 
-    // Global top-10: merge all workers once (an aggregator would do this
-    // periodically); per-key queries need only two summaries.
-    let global = summaries.iter().skip(1).fold(summaries[0].clone(), |acc, s| acc.merge(s));
-    println!("{:<10}{:>12}{:>12}{:>12}{:>10}", "key", "estimate", "error", "exact", "probes");
-    for c in global.top_k(10) {
-        // Point query through the PKG candidates only:
-        let cands: std::collections::BTreeSet<usize> =
-            pkg.candidates(c.key).into_iter().collect();
-        let merged = cands
-            .iter()
-            .map(|&w| &summaries[w])
-            .fold(SpaceSaving::new(256), |acc, s| acc.merge(s));
-        let (est, err) = merged.estimate(c.key);
-        let truth = exact.get(&c.key).copied().unwrap_or(0);
-        println!("${:<9}{est:>12}{err:>12}{truth:>12}{:>10}", c.key, cands.len());
-        assert!(est >= truth && est - err <= truth, "bounds must bracket the truth");
+    println!("{:<12}{:>12}{:>12}{:>12}{:>10}", "cashtag", "estimate", "error", "exact", "probes");
+    for c in merged.summary().top_k(10) {
+        let (key, truth) = exact.get(&c.key).copied().unwrap_or((0, 0));
+        let probes: std::collections::BTreeSet<usize> = pkg.candidates(c.key).into_iter().collect();
+        println!("${:<11}{:>12}{:>12}{:>12}{:>10}", key, c.count, c.error, truth, probes.len());
+        assert!(c.count >= truth && c.count - c.error <= truth, "bounds must bracket the truth");
     }
     println!(
-        "\nevery estimate brackets the exact count with a 2-summary error bound;\n\
-         worker summary sizes: {:?}",
-        summaries.iter().map(|s| s.len()).collect::<Vec<_>>()
+        "\ntwo-phase merged summary over {} messages; every estimate brackets the exact\n\
+         count with an error of at most two per-worker terms (PKG splits each key over\n\
+         ≤ 2 of the {} workers). worker loads: {:?}",
+        merged.emit(),
+        cfg.workers,
+        stats.loads("worker"),
     );
 }

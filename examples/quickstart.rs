@@ -27,7 +27,10 @@ fn main() {
     ];
 
     println!("routing {messages} messages (p1 = 9.32%) to {workers} workers\n");
-    println!("{:<22}{:>14}{:>12}{:>16}{:>14}", "scheme", "imbalance", "I/m", "counters", "max repl.");
+    println!(
+        "{:<22}{:>14}{:>12}{:>16}{:>14}",
+        "scheme", "imbalance", "I/m", "counters", "max repl."
+    );
     for (name, p) in schemes.iter_mut() {
         let mut loads = vec![0u64; workers];
         let mut tracker = ReplicationTracker::new();

@@ -28,12 +28,8 @@ fn sample(rng: &mut SmallRng, d: usize) -> (Vec<f64>, usize) {
 
 fn main() {
     let d = 6;
-    let cfg = SpdtConfig {
-        features: d,
-        classes: 2,
-        min_samples_split: 300.0,
-        ..SpdtConfig::default()
-    };
+    let cfg =
+        SpdtConfig { features: d, classes: 2, min_samples_split: 300.0, ..SpdtConfig::default() };
 
     for (label, scheme, w) in [
         ("PKG", SchemeSpec::pkg(EstimateKind::Local), 10usize),

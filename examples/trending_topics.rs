@@ -51,9 +51,19 @@ fn main() {
             lat.quantile(0.99) as f64 / 1e6,
         );
         println!("      counter loads: {:?}", stats.loads("counter"));
+        // The pkg-agg second phase: partial flushes every aggregation
+        // period become merge messages into the aggregator.
+        println!(
+            "      aggregation: {} merge messages, avg {:.0} live counters/instance, \
+             aggregator state {}",
+            stats.processed("aggregator"),
+            stats.avg_state("counter"),
+            stats.final_state("aggregator"),
+        );
     }
     println!(
         "\nKG pins the head words to single counters (note the hot instance);\n\
-         PKG splits each word over two counters and the loads even out."
+         PKG splits each word over two counters and the loads even out, at the\n\
+         cost of up to 2x the merge messages in the aggregation phase."
     );
 }

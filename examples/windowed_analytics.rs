@@ -1,0 +1,97 @@
+//! Windowed analytics on the two-phase aggregation subsystem: per-key means
+//! over tumbling windows on the live engine, plus a sliding-window trend
+//! query on the library windows directly.
+//!
+//! A fleet of "sensors" emits readings; PKG splits each sensor's stream
+//! over two workers, every worker folds its share into Welford mean
+//! accumulators inside a tick-driven tumbling window, and the aggregator
+//! merges the two partials per sensor with Chan's combination — the
+//! associativity of `PartialAgg::merge` is exactly what makes the split
+//! transparent.
+//!
+//! ```text
+//! cargo run --release --example windowed_analytics
+//! ```
+
+use std::time::Duration;
+
+use partial_key_grouping::agg::SlidingWindow;
+use partial_key_grouping::prelude::*;
+
+/// Deterministic "reading" of a sensor at step `i`: a per-sensor baseline
+/// plus a slow drift, so per-sensor means differ and trends exist.
+fn reading(sensor: u64, i: u64) -> i64 {
+    let baseline = 100 * (sensor + 1) as i64;
+    let drift = (i / 1_000) as i64 * sensor as i64;
+    baseline + drift + (i % 7) as i64
+}
+
+fn main() {
+    let sensors = 12u64;
+    let messages = 60_000u64;
+
+    // Engine: source → 4 windowed workers → aggregator → collector.
+    let collector = Collector::new();
+    let mut topo = Topology::new();
+    let src = topo.add_spout("sensors", 1, move |_| {
+        let mut i = 0u64;
+        spout_from_fn(move || {
+            i += 1;
+            (i <= messages).then(|| {
+                let sensor = i % sensors;
+                Tuple::new(format!("sensor-{sensor:02}").into_bytes(), reading(sensor, i))
+            })
+        })
+    });
+    let worker = topo
+        .add_bolt("worker", 4, |_| Box::new(WindowedWorkerBolt::<Mean>::per_key()))
+        .input(src, Grouping::partial_key())
+        .tick_every(Duration::from_millis(20))
+        .id();
+    let agg = topo
+        .add_bolt("aggregator", 1, |_| Box::new(AggregatorBolt::<Mean>::new()))
+        .input(worker, Grouping::Key)
+        .id();
+    let c = collector.clone();
+    let _sink = topo.add_bolt("collector", 1, move |_| c.bolt()).input(agg, Grouping::Global);
+    let stats = Runtime::new().run(topo);
+
+    println!("per-sensor means (merged from ≤ 2 PKG partials each):");
+    let mut count = 0u64;
+    for (key, mean) in collector.decoded::<Mean>() {
+        let name = String::from_utf8(key.to_vec()).expect("sensor names are utf8");
+        println!(
+            "  {name}  mean {:>8.2}  stddev {:>7.2}  n {:>6}",
+            mean.stats().mean(),
+            mean.stats().stddev(),
+            mean.stats().count()
+        );
+        count += mean.stats().count();
+    }
+    assert_eq!(count, messages, "every reading lands in exactly one accumulator");
+    println!(
+        "workers processed {} tuples; aggregator merged {} partial flushes\n",
+        stats.processed("worker"),
+        stats.processed("aggregator"),
+    );
+
+    // Library-level sliding window: total readings per sensor over the last
+    // 3 panes of 5k steps, queried as the stream advances.
+    let mut window: SlidingWindow<u64, Sum> = SlidingWindow::new(5_000, 3);
+    let mut evicted = 0usize;
+    for i in 0..messages {
+        evicted += window.insert(i % sensors, i % sensors, reading(i % sensors, i), i).len();
+    }
+    let hot = (0..sensors)
+        .filter_map(|s| window.query(&s).map(|a| (s, a.emit())))
+        .max_by_key(|&(_, total)| total)
+        .expect("window is populated");
+    println!(
+        "sliding window: {} resident panes ({} evicted); hottest sensor over the last \
+         15k steps: sensor-{:02} with Σ readings = {}",
+        window.panes(),
+        evicted,
+        hot.0,
+        hot.1
+    );
+}

@@ -53,8 +53,10 @@
 //! | [`datagen`] (`pkg-datagen`) | the paper's dataset profiles as synthetic generators |
 //! | [`sim`] (`pkg-sim`) | the multi-source simulation harness (Q1–Q3) |
 //! | [`engine`] (`pkg-engine`) | the threaded mini-DSPE (Q4) |
-//! | [`apps`] (`pkg-apps`) | word count, SpaceSaving, naive Bayes, SPDT |
+//! | [`agg`] (`pkg-agg`) | the second aggregation phase: `PartialAgg` accumulators, windows, two-phase bolts |
+//! | [`apps`] (`pkg-apps`) | word count, heavy hitters, naive Bayes, SPDT |
 
+pub use pkg_agg as agg;
 pub use pkg_apps as apps;
 pub use pkg_core as core;
 pub use pkg_datagen as datagen;
@@ -65,12 +67,15 @@ pub use pkg_sim as sim;
 
 /// The most common imports for working with PKG.
 pub mod prelude {
+    pub use pkg_agg::{
+        AggregatorBolt, Collector, Count, Mean, PartialAgg, Sum, TopK, WindowedWorkerBolt,
+    };
     pub use pkg_core::{
         Estimate, EstimateKind, KeyGrouping, OfflineGreedy, OnlineGreedy, PartialKeyGrouping,
         Partitioner, SchemeSpec, ShuffleGrouping, StaticPotc,
     };
     pub use pkg_datagen::DatasetProfile;
     pub use pkg_engine::prelude::*;
-    pub use pkg_metrics as pkg_metrics;
+    pub use pkg_metrics;
     pub use pkg_sim::{run as run_simulation, SimConfig};
 }

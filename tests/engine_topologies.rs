@@ -73,8 +73,7 @@ fn deep_chain_with_tiny_queues() {
         .add_bolt("sink", 1, |_| Box::new(CountingBolt::default()))
         .input(prev, Grouping::Global)
         .id();
-    let stats =
-        Runtime::with_options(RuntimeOptions { channel_capacity: 1, seed: 3 }).run(topo);
+    let stats = Runtime::with_options(RuntimeOptions { channel_capacity: 1, seed: 3 }).run(topo);
     assert_eq!(stats.processed("sink"), 300);
     // Values were incremented once per stage.
     assert_eq!(stats.emitted("s4"), 300);
@@ -105,6 +104,67 @@ fn empty_stream_shuts_down() {
     let stats = Runtime::new().run(topo);
     assert_eq!(stats.processed("sink"), 0);
     assert_eq!(stats.processed("src"), 0);
+}
+
+/// Regression (Fig. 5(b) memory accounting): the pkg-agg aggregator bolts
+/// must report their window-buffer entries through `Bolt::state_size`, so
+/// the phase-two state shows up in `final_state`/`max_state`. With no
+/// ticks, workers flush only on finish, which happens before their Eof —
+/// so the aggregator holds every partial when its own pre-finish state
+/// sample is taken.
+#[test]
+fn aggregator_state_size_counts_window_buffer() {
+    use partial_key_grouping::agg::{AggregatorBolt, Sum, WindowedWorkerBolt};
+
+    let mut topo = Topology::new();
+    let src = topo.add_spout("src", 1, |_| spout_from_iter(number_stream(2_000)));
+    let worker = topo
+        .add_bolt("worker", 3, |_| Box::new(WindowedWorkerBolt::<Sum>::per_key()))
+        .input(src, Grouping::partial_key())
+        .id();
+    let _agg = topo
+        .add_bolt("agg", 1, |_| Box::new(AggregatorBolt::<Sum>::new()))
+        .input(worker, Grouping::Key)
+        .id();
+    let stats = Runtime::new().run(topo);
+    // The stream has 13 distinct keys; the aggregator's pre-finish state
+    // must count one merged entry per key (eager Sum merging), and the
+    // workers' pre-finish state must cover the key-splitting spread
+    // (between 13 and 26 partial counters under PKG).
+    assert_eq!(stats.final_state("agg"), 13, "phase-two entries uncounted");
+    let worker_state = stats.final_state("worker");
+    assert!(
+        (13..=26).contains(&worker_state),
+        "PKG worker partials out of the [K, 2K] band: {worker_state}"
+    );
+}
+
+/// Same regression for a buffering (inexact) accumulator: the aggregator
+/// holds every undrained partial summary in its window buffer, and
+/// `state_size` must count their entries.
+#[test]
+fn aggregator_state_size_counts_buffered_partials() {
+    use partial_key_grouping::agg::{AggregatorBolt, TopK, WindowedWorkerBolt};
+
+    let mut topo = Topology::new();
+    let src = topo.add_spout("src", 1, |_| spout_from_iter(number_stream(2_000)));
+    let worker = topo
+        .add_bolt("worker", 3, |_| Box::new(WindowedWorkerBolt::<TopK<64>>::global()))
+        .input(src, Grouping::partial_key())
+        .id();
+    let _agg = topo
+        .add_bolt("agg", 1, |_| Box::new(AggregatorBolt::<TopK<64>>::new()))
+        .input(worker, Grouping::Global)
+        .id();
+    let stats = Runtime::new().run(topo);
+    // Each worker ships one summary holding its share of the 13 keys; the
+    // buffered partial entries across summaries cover every key at least
+    // once and at most twice (PKG).
+    let buffered = stats.final_state("agg");
+    assert!(
+        (13..=26).contains(&buffered),
+        "buffered sketch entries out of the [K, 2K] band: {buffered}"
+    );
 }
 
 /// Ticks keep firing while a bolt's upstream is slow; finish still flushes.

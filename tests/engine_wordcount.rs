@@ -59,7 +59,9 @@ fn run_collecting(cfg: &WordCountConfig) -> FxHashMap<String, i64> {
     };
     let (delay, top_k) = (cfg.service_delay, cfg.top_k);
     let mut counter = topo
-        .add_bolt("counter", cfg.counters, move |_| Box::new(CounterBolt::new(running, delay, top_k)))
+        .add_bolt("counter", cfg.counters, move |_| {
+            Box::new(CounterBolt::new(running, delay, top_k))
+        })
         .input(source, grouping);
     if let Some(t) = cfg.aggregation_period {
         counter = counter.tick_every(t);
@@ -152,8 +154,7 @@ fn latency_and_throughput_are_measured() {
         counters: 3,
         ..WordCountConfig::default()
     };
-    let (topo, _, _, _) =
-        partial_key_grouping::apps::wordcount::wordcount_topology(&cfg);
+    let (topo, _, _, _) = partial_key_grouping::apps::wordcount::wordcount_topology(&cfg);
     let stats = Runtime::new().run(topo);
     assert_eq!(stats.processed("counter"), 10_000);
     assert!(stats.throughput("counter") > 0.0);

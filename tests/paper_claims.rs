@@ -133,10 +133,8 @@ fn heavy_hitter_error_two_terms() {
     for (key, &truth) in head.into_iter().take(10) {
         let cands: std::collections::BTreeSet<usize> = pkg.candidates(*key).into_iter().collect();
         assert!(cands.len() <= 2);
-        let merged = cands
-            .iter()
-            .map(|&i| &workers[i])
-            .fold(SpaceSaving::new(128), |acc, s| acc.merge(s));
+        let merged =
+            cands.iter().map(|&i| &workers[i]).fold(SpaceSaving::new(128), |acc, s| acc.merge(s));
         let (est, err) = merged.estimate(*key);
         assert!(est >= truth, "estimate {est} below truth {truth}");
         assert!(est - err <= truth, "lower bound broken for {key}");

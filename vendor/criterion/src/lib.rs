@@ -193,12 +193,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one parameterized benchmark in the group.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -232,9 +227,7 @@ fn run_one<F>(
             let rate = n as f64 * 1e9 / ns_per_iter;
             println!("bench: {full:<50} {ns_per_iter:>14.1} ns/iter ({rate:>12.0} elem/s)");
         }
-        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n))
-            if ns_per_iter > 0.0 =>
-        {
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) if ns_per_iter > 0.0 => {
             let rate = n as f64 * 1e9 / ns_per_iter / (1024.0 * 1024.0);
             println!("bench: {full:<50} {ns_per_iter:>14.1} ns/iter ({rate:>9.1} MiB/s)");
         }
@@ -286,11 +279,16 @@ mod tests {
             g.throughput(Throughput::Elements(10));
             g.sample_size(2);
             g.bench_function("in_group", |b| {
-                b.iter_batched(|| 21u64, |x| { calls += 1; x * 2 }, BatchSize::LargeInput)
+                b.iter_batched(
+                    || 21u64,
+                    |x| {
+                        calls += 1;
+                        x * 2
+                    },
+                    BatchSize::LargeInput,
+                )
             });
-            g.bench_with_input(BenchmarkId::new("param", 5), &5u64, |b, &p| {
-                b.iter(|| p + 1)
-            });
+            g.bench_with_input(BenchmarkId::new("param", 5), &5u64, |b, &p| b.iter(|| p + 1));
             g.finish();
         }
         assert_eq!(calls, 2);

@@ -145,8 +145,7 @@ mod tests {
     fn scope_joins_and_collects() {
         let data = [1u64, 2, 3, 4];
         let total: u64 = super::thread::scope(|s| {
-            let handles: Vec<_> =
-                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();
