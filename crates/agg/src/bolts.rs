@@ -6,6 +6,13 @@
 //! payload is the *encoded partial state* — the aggregation messages whose
 //! rate the paper's Fig. 5 trades against memory via the period `T`.
 //!
+//! Tick delivery is executor-neutral: the bolts count *logical* ticks, so
+//! they work identically whether the engine realizes deadlines with
+//! per-thread `recv_timeout` (thread-per-instance) or the pool executor's
+//! central timer wheel. Both executors fire catch-up bursts after a stall
+//! (several `tick` calls back to back); the window's logical clock makes
+//! such bursts harmless — each overdue pane closes once, in order.
+//!
 //! Phase two is an [`AggregatorBolt`]: partials for the same key meet there
 //! (route the edge with `Grouping::Key`, or `Grouping::Global` for
 //! stream-global accumulators) and are combined with `PartialAgg::merge`.

@@ -151,6 +151,7 @@ mod tests {
         let stats = Runtime::with_options(pkg_engine::RuntimeOptions {
             channel_capacity: 1024,
             seed: cfg.engine_seed,
+            ..pkg_engine::RuntimeOptions::default()
         })
         .run(topo);
         assert_eq!(stats.processed("worker"), 20_000);
@@ -167,6 +168,7 @@ mod tests {
         let stats = Runtime::with_options(pkg_engine::RuntimeOptions {
             channel_capacity: 1024,
             seed: cfg.engine_seed,
+            ..pkg_engine::RuntimeOptions::default()
         })
         .run(topo);
         // Every worker's partial went to the aggregator exactly once.

@@ -1,0 +1,223 @@
+//! **Engine scale sweep** — throughput of the two executors as the total
+//! instance count grows: the experiment the cooperative pool executor
+//! exists for.
+//!
+//! The paper's Q4 runs word count at cluster scale, and the follow-up work
+//! ("When Two Choices Are not Enough") shows PKG's interesting regimes
+//! start at large worker counts `W` — exactly where one-OS-thread-per-PEI
+//! collapses into scheduler thrash. This driver sweeps the word-count
+//! topology (PKG variant) over total instance counts of roughly 50 / 200 /
+//! 800, under both [`ExecutorMode`]s, holding the total message volume
+//! fixed so every point does the same work. It prints a TSV (echoed into
+//! `results/engine_scale.tsv`) with wall clock, counter throughput, and
+//! pool activation counts, and **asserts message conservation at every
+//! point** (exit non-zero on any loss).
+//!
+//! Full mode additionally gates the scheduler's reason to exist: the pool
+//! must sustain ≥ 2× the thread-per-instance throughput at the largest
+//! size and stay within noise (≥ 0.85×) at the smallest.
+//!
+//! `--smoke` runs one small size with reduced volume and checks
+//! conservation plus exact cross-executor load parity — fast and
+//! deterministic, suitable as a CI gate against scheduler regressions.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pkg_apps::wordcount::{wordcount_topology, WordCountConfig, WordCountVariant};
+use pkg_bench::{seed, TextTable};
+use pkg_engine::{ExecutorMode, Runtime, RuntimeOptions};
+
+/// One sweep point: a word-count topology with `instances` total PEIs
+/// (sources + counters + 1 aggregator) fed `messages` tuples in total.
+struct Point {
+    instances: usize,
+    messages: u64,
+}
+
+struct Measurement {
+    wall_s: f64,
+    counter_tput: f64,
+    activations: u64,
+    loads: Vec<u64>,
+}
+
+fn config_for(p: &Point, total_messages: u64) -> WordCountConfig {
+    let sources = (p.instances / 10).max(1);
+    let counters = p.instances - sources - 1;
+    WordCountConfig {
+        variant: WordCountVariant::PartialKeyGrouping,
+        sources,
+        counters,
+        messages_per_source: total_messages / sources as u64,
+        vocabulary: 10_000,
+        aggregation_period: None,
+        seed: seed(),
+        ..WordCountConfig::default()
+    }
+}
+
+fn run_point(cfg: &WordCountConfig, mode: ExecutorMode) -> Result<Measurement, String> {
+    let (topo, _, _, _) = wordcount_topology(cfg);
+    let started = Instant::now();
+    let stats = Runtime::with_options(RuntimeOptions {
+        channel_capacity: 1_024,
+        seed: seed(),
+        executor: mode,
+    })
+    .run(topo);
+    let wall_s = started.elapsed().as_secs_f64();
+    let total = cfg.messages_per_source * cfg.sources as u64;
+    // Message conservation: every generated tuple is counted exactly once,
+    // and every counter flush reaches the aggregator exactly once.
+    if stats.processed("counter") != total {
+        return Err(format!(
+            "conservation violated: counters processed {} of {total}",
+            stats.processed("counter")
+        ));
+    }
+    if stats.emitted("counter") != stats.processed("aggregator") {
+        return Err(format!(
+            "conservation violated: counters emitted {} but aggregator processed {}",
+            stats.emitted("counter"),
+            stats.processed("aggregator")
+        ));
+    }
+    Ok(Measurement {
+        wall_s,
+        counter_tput: total as f64 / wall_s,
+        activations: stats.activations("counter"),
+        loads: stats.loads("counter"),
+    })
+}
+
+fn mode_label(mode: ExecutorMode) -> &'static str {
+    match mode {
+        ExecutorMode::ThreadPerInstance => "threads",
+        ExecutorMode::Pool { .. } => "pool",
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let points: Vec<Point> = if smoke {
+        vec![Point { instances: 50, messages: 40_000 }]
+    } else {
+        vec![
+            Point { instances: 50, messages: 400_000 },
+            Point { instances: 200, messages: 400_000 },
+            Point { instances: 800, messages: 400_000 },
+        ]
+    };
+    let modes = [ExecutorMode::ThreadPerInstance, ExecutorMode::pool()];
+
+    let mut out = String::from("# engine_scale: executor throughput vs total instance count\n");
+    let _ = writeln!(
+        out,
+        "# wordcount/PKG, sources=instances/10, counters=rest, aggregator=1, seed={}{}",
+        seed(),
+        if smoke { " (smoke)" } else { "" },
+    );
+    let mut table = TextTable::new();
+    table.row(["instances", "mode", "messages", "wall_s", "counter_tput_msg_s", "activations"]);
+    let mut tsv =
+        String::from("instances\tmode\tmessages\twall_s\tcounter_tput_msg_s\tactivations\n");
+
+    let mut ok = true;
+    let mut results: Vec<(usize, &'static str, Measurement)> = Vec::new();
+    for p in &points {
+        let cfg = config_for(p, p.messages);
+        for mode in modes {
+            let label = mode_label(mode);
+            match run_point(&cfg, mode) {
+                Ok(m) => {
+                    table.row([
+                        p.instances.to_string(),
+                        label.to_string(),
+                        p.messages.to_string(),
+                        format!("{:.3}", m.wall_s),
+                        format!("{:.0}", m.counter_tput),
+                        m.activations.to_string(),
+                    ]);
+                    let _ = writeln!(
+                        tsv,
+                        "{}\t{}\t{}\t{:.4}\t{:.0}\t{}",
+                        p.instances, label, p.messages, m.wall_s, m.counter_tput, m.activations
+                    );
+                    results.push((p.instances, label, m));
+                }
+                Err(e) => {
+                    ok = false;
+                    let _ = writeln!(out, "FAIL {label} @ {} instances: {e}", p.instances);
+                }
+            }
+        }
+    }
+    out.push_str(&table.render());
+
+    let tput = |instances: usize, label: &str| {
+        results
+            .iter()
+            .find(|(i, l, _)| *i == instances && *l == label)
+            .map(|(_, _, m)| m.counter_tput)
+    };
+    if smoke {
+        // Deterministic cross-executor check: identical per-instance loads
+        // (byte-identical routing), not timing.
+        let find = |label: &str| {
+            results.iter().find(|(_, l, _)| *l == label).map(|(_, _, m)| m.loads.clone())
+        };
+        match (find("threads"), find("pool")) {
+            (Some(a), Some(b)) if a == b => {
+                let _ = writeln!(out, "check: per-instance loads identical across executors .. OK");
+            }
+            (Some(_), Some(_)) => {
+                ok = false;
+                let _ =
+                    writeln!(out, "check: per-instance loads diverged across executors .. FAIL");
+            }
+            _ => ok = false,
+        }
+    } else if let (Some(t_small), Some(p_small), Some(t_big), Some(p_big)) = (
+        tput(points[0].instances, "threads"),
+        tput(points[0].instances, "pool"),
+        tput(points[points.len() - 1].instances, "threads"),
+        tput(points[points.len() - 1].instances, "pool"),
+    ) {
+        let _ = writeln!(
+            out,
+            "pool/threads throughput ratio: {:.2}x @ {} instances, {:.2}x @ {} instances",
+            p_small / t_small,
+            points[0].instances,
+            p_big / t_big,
+            points[points.len() - 1].instances,
+        );
+        if p_big < 2.0 * t_big {
+            ok = false;
+            let _ = writeln!(
+                out,
+                "check: pool ≥ 2x threads at {} instances .. FAIL",
+                points[points.len() - 1].instances
+            );
+        } else {
+            let _ = writeln!(out, "check: pool ≥ 2x threads at the largest size .. OK");
+        }
+        // "No worse" at small scale, with a noise allowance.
+        if p_small < 0.85 * t_small {
+            ok = false;
+            let _ = writeln!(out, "check: pool no worse at the smallest size .. FAIL");
+        } else {
+            let _ = writeln!(out, "check: pool no worse at the smallest size .. OK");
+        }
+    } else {
+        ok = false;
+    }
+
+    out.push('\n');
+    out.push_str(&tsv);
+    pkg_bench::emit("engine_scale.tsv", &out);
+    if !ok {
+        eprintln!("engine_scale: checks FAILED");
+        std::process::exit(1);
+    }
+}

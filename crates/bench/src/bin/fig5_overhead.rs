@@ -153,8 +153,12 @@ fn heavy_hitters_parity(out: &mut String) -> bool {
         ..HeavyHittersConfig::default()
     };
     let (topo, collector) = heavy_hitters_topology(&cfg);
-    Runtime::with_options(RuntimeOptions { channel_capacity: 1024, seed: cfg.engine_seed })
-        .run(topo);
+    Runtime::with_options(RuntimeOptions {
+        channel_capacity: 1024,
+        seed: cfg.engine_seed,
+        ..RuntimeOptions::default()
+    })
+    .run(topo);
     let engine = pkg_apps::heavy_hitters::final_summary(&collector).expect("summary collected");
     let oracle = single_phase_summary(&cfg);
     let ok = engine.encoded() == oracle.encoded();

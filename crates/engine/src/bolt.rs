@@ -39,6 +39,7 @@ pub trait Bolt: Send {
 /// is end-to-end), or stamped fresh for tick/finish emissions.
 pub struct Emitter<'a> {
     pub(crate) edges: &'a mut [OutEdge],
+    pub(crate) sink: Sink<'a>,
     /// Birth timestamp to inherit (0 = stamp with `now_ns`).
     pub(crate) inherit_born_ns: u64,
     pub(crate) now_ns: u64,
@@ -48,7 +49,63 @@ pub struct Emitter<'a> {
 /// One outgoing edge of a running instance.
 pub(crate) struct OutEdge {
     pub(crate) router: Router,
-    pub(crate) txs: Vec<Sender<Packet>>,
+    pub(crate) tx: EdgeTx,
+}
+
+/// Where an edge's packets physically go — the executor-specific half of an
+/// [`OutEdge`] (routing is executor-independent, which is what makes the
+/// two executors byte-identical).
+pub(crate) enum EdgeTx {
+    /// Blocking bounded channels, one per downstream instance
+    /// (thread-per-instance executor).
+    Channels(Vec<Sender<Packet>>),
+    /// Task ids of the downstream instances (pool executor); delivery goes
+    /// through the shared pool state's mailboxes.
+    Tasks(Vec<usize>),
+}
+
+/// Delivery discipline of an [`Emitter`].
+pub(crate) enum Sink<'a> {
+    /// Send on the edge channels, blocking while a mailbox is full. Used by
+    /// the thread-per-instance executor (where blocking an OS thread *is*
+    /// the backpressure mechanism) and by [`Emitter::drop_sink`].
+    Blocking,
+    /// Cooperative: non-blocking try-push into downstream mailboxes; on a
+    /// full mailbox the packet spills into the task's outbox and the task
+    /// parks at the end of its activation instead of blocking a worker.
+    Pool {
+        shared: &'a crate::pool::Shared,
+        outbox: &'a mut std::collections::VecDeque<(usize, Packet)>,
+    },
+}
+
+impl Sink<'_> {
+    /// Deliver one routed packet to `dest` along `tx`.
+    fn deliver(&mut self, tx: &EdgeTx, dest: usize, packet: Packet) {
+        match (tx, self) {
+            (EdgeTx::Channels(txs), Sink::Blocking) => {
+                // A send fails only if the receiver hung up, which the
+                // shutdown protocol makes impossible before our Eof.
+                txs[dest].send(packet).expect("downstream alive until Eof");
+            }
+            (EdgeTx::Tasks(dests), Sink::Pool { shared, outbox }) => {
+                let task = dests[dest];
+                // Once anything spilled, everything spills: per-destination
+                // FIFO must survive the detour through the outbox.
+                if outbox.is_empty() {
+                    match shared.try_push(task, packet) {
+                        Ok(()) => {}
+                        Err(packet) => outbox.push_back((task, packet)),
+                    }
+                } else {
+                    outbox.push_back((task, packet));
+                }
+            }
+            (EdgeTx::Channels(_), Sink::Pool { .. }) | (EdgeTx::Tasks(_), Sink::Blocking) => {
+                unreachable!("edge transport and emitter sink are built by the same executor")
+            }
+        }
+    }
 }
 
 impl Emitter<'_> {
@@ -70,14 +127,14 @@ impl Emitter<'_> {
             };
             let edge = &mut self.edges[i];
             match edge.router.route(key_id) {
-                Target::One(w) => {
-                    // A send fails only if the receiver hung up, which the
-                    // shutdown protocol makes impossible before our Eof.
-                    edge.txs[w].send(Packet::Tuple(t)).expect("downstream alive until Eof");
-                }
+                Target::One(w) => self.sink.deliver(&edge.tx, w, Packet::Tuple(t)),
                 Target::All => {
-                    for tx in &edge.txs {
-                        tx.send(Packet::Tuple(t.clone())).expect("downstream alive until Eof");
+                    let n = match &edge.tx {
+                        EdgeTx::Channels(txs) => txs.len(),
+                        EdgeTx::Tasks(dests) => dests.len(),
+                    };
+                    for w in 0..n {
+                        self.sink.deliver(&edge.tx, w, Packet::Tuple(t.clone()));
                     }
                 }
             }
@@ -92,7 +149,7 @@ impl Emitter<'_> {
     /// An emitter with no outgoing edges: emissions are counted, then
     /// dropped. For unit-testing bolts outside a running topology.
     pub fn drop_sink(emitted: &mut u64) -> Emitter<'_> {
-        Emitter { edges: &mut [], inherit_born_ns: 0, now_ns: 1, emitted }
+        Emitter { edges: &mut [], sink: Sink::Blocking, inherit_born_ns: 0, now_ns: 1, emitted }
     }
 }
 

@@ -5,27 +5,27 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
 use pkg_metrics::LatencyHistogram;
 
-use crate::bolt::{Bolt, Emitter, OutEdge};
+use crate::bolt::{Bolt, EdgeTx, Emitter, OutEdge, Sink};
 use crate::metrics::InstanceStats;
 use crate::spout::Spout;
 use crate::tuple::Packet;
 
-/// Accumulates state-size samples.
+/// Accumulates state-size samples (shared with the pool executor).
 #[derive(Debug, Default)]
-struct StateSampler {
+pub(crate) struct StateSampler {
     sum: f64,
     count: u64,
-    max: usize,
+    pub(crate) max: usize,
 }
 
 impl StateSampler {
-    fn sample(&mut self, size: usize) {
+    pub(crate) fn sample(&mut self, size: usize) {
         self.sum += size as f64;
         self.count += 1;
         self.max = self.max.max(size);
     }
 
-    fn avg(&self) -> f64 {
+    pub(crate) fn avg(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
@@ -36,10 +36,16 @@ impl StateSampler {
 
 fn send_eof(edges: &mut [OutEdge]) {
     for edge in edges {
-        for tx in &edge.txs {
-            // Downstream may only hang up after receiving Eof from every
-            // sender; if it already did, shutdown is in progress anyway.
-            let _ = tx.send(Packet::Eof);
+        match &edge.tx {
+            EdgeTx::Channels(txs) => {
+                for tx in txs {
+                    // Downstream may only hang up after receiving Eof from
+                    // every sender; if it already did, shutdown is in
+                    // progress anyway.
+                    let _ = tx.send(Packet::Eof);
+                }
+            }
+            EdgeTx::Tasks(_) => unreachable!("thread executor edges are channels"),
         }
     }
 }
@@ -59,6 +65,7 @@ pub(crate) fn run_spout(
         let now_ns = epoch.elapsed().as_nanos() as u64;
         let mut em = Emitter {
             edges: &mut edges,
+            sink: Sink::Blocking,
             inherit_born_ns: 0,
             // Guard against a zero elapsed reading: 0 means "stamp me".
             now_ns: now_ns.max(1),
@@ -77,6 +84,7 @@ pub(crate) fn run_spout(
         max_state: 0,
         avg_state: 0.0,
         ticks: 0,
+        activations: 1,
     }
 }
 
@@ -112,6 +120,7 @@ pub(crate) fn run_bolt(
                     sampler.sample(bolt.state_size());
                     let mut em = Emitter {
                         edges: &mut edges,
+                        sink: Sink::Blocking,
                         inherit_born_ns: 0,
                         now_ns,
                         emitted: &mut emitted,
@@ -138,6 +147,7 @@ pub(crate) fn run_bolt(
                 latency.record(now_ns.saturating_sub(tuple.born_ns));
                 let mut em = Emitter {
                     edges: &mut edges,
+                    sink: Sink::Blocking,
                     inherit_born_ns: tuple.born_ns,
                     now_ns,
                     emitted: &mut emitted,
@@ -159,8 +169,13 @@ pub(crate) fn run_bolt(
     let final_state = bolt.state_size();
     {
         let now_ns = (epoch.elapsed().as_nanos() as u64).max(1);
-        let mut em =
-            Emitter { edges: &mut edges, inherit_born_ns: 0, now_ns, emitted: &mut emitted };
+        let mut em = Emitter {
+            edges: &mut edges,
+            sink: Sink::Blocking,
+            inherit_born_ns: 0,
+            now_ns,
+            emitted: &mut emitted,
+        };
         bolt.finish(&mut em);
     }
     send_eof(&mut edges);
@@ -175,5 +190,6 @@ pub(crate) fn run_bolt(
         max_state: sampler.max,
         avg_state: sampler.avg(),
         ticks,
+        activations: 1,
     }
 }

@@ -2,11 +2,14 @@
 //!
 //! The paper's Q4 experiments run word count "on a Storm cluster of 10
 //! virtual servers" and measure throughput, end-to-end latency, and memory.
-//! This crate substitutes that cluster with a real multi-threaded engine:
-//! every processing element instance (PEI) is an OS thread, streams are
-//! bounded MPSC channels (so an overloaded instance exerts genuine
-//! backpressure on its sources, which is exactly the mechanism that makes
-//! load imbalance destroy throughput), and stream partitioning is pluggable
+//! This crate substitutes that cluster with a real multi-threaded engine.
+//! Two executors are available via [`runtime::ExecutorMode`]: the faithful
+//! one-OS-thread-per-PEI mode with blocking bounded channels, and a
+//! cooperative worker-pool scheduler that runs each instance as a task
+//! with a bounded mailbox — letting topologies with hundreds of instances
+//! fit one process. In both, an overloaded instance exerts genuine
+//! backpressure on its sources (exactly the mechanism that makes load
+//! imbalance destroy throughput), and stream partitioning is pluggable
 //! per edge via [`grouping::Grouping`] — including
 //! [`grouping::Grouping::Partial`], the paper's contribution, implemented on
 //! top of `pkg_core::PartialKeyGrouping` with per-sender **local** load
@@ -36,8 +39,10 @@ pub mod bolt;
 pub mod executor;
 pub mod grouping;
 pub mod metrics;
+pub(crate) mod pool;
 pub mod runtime;
 pub mod spout;
+pub(crate) mod timer;
 pub mod topology;
 pub mod tuple;
 
@@ -45,7 +50,7 @@ pub mod tuple;
 pub mod prelude {
     pub use crate::bolt::{Bolt, CountingBolt, Emitter};
     pub use crate::grouping::Grouping;
-    pub use crate::runtime::{Runtime, RuntimeOptions};
+    pub use crate::runtime::{ExecutorMode, Runtime, RuntimeOptions};
     pub use crate::spout::{spout_from_fn, spout_from_iter, Spout};
     pub use crate::topology::Topology;
     pub use crate::tuple::Tuple;
@@ -54,7 +59,7 @@ pub mod prelude {
 pub use bolt::{Bolt, Emitter};
 pub use grouping::Grouping;
 pub use metrics::{InstanceStats, RunStats};
-pub use runtime::{edge_seed, Runtime, RuntimeOptions};
+pub use runtime::{edge_seed, ExecutorMode, Runtime, RuntimeOptions};
 pub use spout::Spout;
 pub use topology::Topology;
 pub use tuple::Tuple;

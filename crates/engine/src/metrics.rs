@@ -28,6 +28,12 @@ pub struct InstanceStats {
     pub avg_state: f64,
     /// Number of ticks fired.
     pub ticks: u64,
+    /// Scheduler activations that drove this instance. Under the pool
+    /// executor this counts how often a worker picked the task up (the
+    /// batching quantum's amortization denominator); under
+    /// thread-per-instance the whole run is one long activation, so it
+    /// is 1.
+    pub activations: u64,
 }
 
 /// Results of one topology run.
@@ -71,6 +77,12 @@ impl RunStats {
         } else {
             self.processed(component) as f64 / secs
         }
+    }
+
+    /// Total scheduler activations of a component (pool executor; see
+    /// [`InstanceStats::activations`]).
+    pub fn activations(&self, component: &str) -> u64 {
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.activations).sum()
     }
 
     /// Merged latency histogram of a component.

@@ -1,0 +1,709 @@
+//! The cooperative worker-pool executor.
+//!
+//! Instead of one OS thread per instance (`executor.rs`), a fixed pool of N
+//! worker threads drives every instance as a schedulable *task*:
+//!
+//! * Each bolt task owns a bounded **mailbox**; producers `try_push` into
+//!   it and never block an OS thread.
+//! * A task activation drains up to a **batch quantum** of packets
+//!   ([`DEFAULT_BATCH`]), amortizing mailbox locking and emitter setup,
+//!   then yields the worker.
+//! * Tick deadlines live in one central [`TimerWheel`](crate::timer) —
+//!   replacing the per-thread `recv_timeout` of the legacy executor — and
+//!   wake the owning task when due.
+//! * **Backpressure parks instead of blocking**: when an emission finds a
+//!   downstream mailbox full, the packet spills into the task's outbox, the
+//!   task parks, and the *consumer* wakes it after draining (a
+//!   backpressure-release edge, not a timeout).
+//!
+//! Scheduling state per task is a small atomic state machine
+//! (idle / queued / running / running-notified / parked / done) that makes
+//! wake-ups idempotent and race-free: a wake during `RUNNING` marks
+//! `NOTIFIED`, which the worker converts into a requeue when the
+//! activation ends, so no packet arrival is ever lost between a task's
+//! "mailbox empty" check and its transition to idle.
+//!
+//! Determinism: all routing state (the per-sender [`Router`]s, seeded by
+//! the same `edge_seed` derivation) is owned by the task and consulted in
+//! the task's own processing order, so a topology routes **byte-identically**
+//! under both executors regardless of how activations interleave — the
+//! property `tests/engine_executor_parity.rs` pins down.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crossbeam::sync::{Parker, Unparker};
+use pkg_metrics::LatencyHistogram;
+
+use crate::bolt::{Bolt, EdgeTx, Emitter, OutEdge, Sink};
+use crate::executor::StateSampler;
+use crate::grouping::Router;
+use crate::metrics::{InstanceStats, RunStats};
+use crate::spout::Spout;
+use crate::timer::TimerWheel;
+use crate::topology::{ComponentKind, Topology};
+use crate::tuple::{Packet, PacketBatch};
+
+/// Default batch quantum: packets drained per task activation.
+pub const DEFAULT_BATCH: usize = 256;
+
+/// Upper bound on an idle worker's sleep. A defensive backstop: all wakes
+/// are edge-triggered, so this only bounds recovery latency, it is not a
+/// correctness mechanism.
+const MAX_IDLE_PARK: Duration = Duration::from_millis(100);
+
+// Task scheduling states.
+const IDLE: u8 = 0;
+/// In the global run queue or a worker's local queue.
+const QUEUED: u8 = 1;
+/// A worker is executing an activation.
+const RUNNING: u8 = 2;
+/// Running, and a wake arrived mid-activation: requeue instead of idling.
+const NOTIFIED: u8 = 3;
+/// Blocked on a full downstream mailbox; woken by its consumer.
+const PARKED: u8 = 4;
+const DONE: u8 = 5;
+
+enum WakeKind {
+    /// Data/tick wake: does not disturb a backpressure-parked task (it
+    /// cannot make progress until its downstream drains).
+    Notify,
+    /// Backpressure-release wake from a consumer that freed mailbox space.
+    Unpark,
+}
+
+enum Outcome {
+    /// Mailbox empty, nothing pending: wait for a wake.
+    Idle,
+    /// More input than the batch quantum: reschedule.
+    Yield,
+    /// Downstream full: sleep until the consumer wakes us.
+    Park,
+    /// Eof protocol complete, stats finalized.
+    Done,
+}
+
+enum TaskKind {
+    Spout {
+        spout: Box<dyn Spout>,
+        exhausted: bool,
+    },
+    Bolt {
+        bolt: Box<dyn Bolt>,
+        eof_remaining: usize,
+        tick_period_ns: Option<u64>,
+        next_tick_ns: u64,
+    },
+}
+
+struct TaskBody {
+    component: String,
+    instance: usize,
+    kind: TaskKind,
+    edges: Vec<OutEdge>,
+    /// Spilled emissions awaiting delivery: `(dest task, packet)` in
+    /// emission order (per-destination FIFO is what Eof counting needs).
+    outbox: VecDeque<(usize, Packet)>,
+    /// Packets drained from the mailbox but not yet processed.
+    inbox: PacketBatch,
+    processed: u64,
+    emitted: u64,
+    ticks: u64,
+    activations: u64,
+    latency: LatencyHistogram,
+    sampler: StateSampler,
+    final_state: usize,
+}
+
+impl TaskBody {
+    fn into_stats(self) -> InstanceStats {
+        InstanceStats {
+            component: self.component,
+            instance: self.instance,
+            processed: self.processed,
+            emitted: self.emitted,
+            latency: self.latency,
+            final_state: self.final_state,
+            max_state: self.sampler.max,
+            avg_state: self.sampler.avg(),
+            ticks: self.ticks,
+            activations: self.activations,
+        }
+    }
+}
+
+#[derive(Default)]
+struct MailboxInner {
+    queue: VecDeque<Packet>,
+    /// Producer tasks parked on this mailbox being full.
+    waiters: Vec<usize>,
+}
+
+struct Mailbox {
+    cap: usize,
+    inner: Mutex<MailboxInner>,
+}
+
+struct TaskSlot {
+    state: AtomicU8,
+    /// `None` for spouts (no inputs).
+    mailbox: Option<Mailbox>,
+    /// Taken by the worker for the duration of an activation.
+    body: Mutex<Option<Box<TaskBody>>>,
+}
+
+struct Sched {
+    runq: VecDeque<usize>,
+    timers: TimerWheel,
+}
+
+/// Shared pool state; [`Emitter`] reaches it through [`Sink::Pool`] to
+/// deliver emissions without blocking.
+pub(crate) struct Shared {
+    tasks: Vec<TaskSlot>,
+    sched: Mutex<Sched>,
+    /// Per-worker run queues for self-requeues; idle workers steal.
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Idle workers awaiting work, newest last.
+    idlers: Mutex<Vec<(usize, Unparker)>>,
+    /// Tasks not yet `DONE`.
+    remaining: AtomicUsize,
+    epoch: Instant,
+    batch: usize,
+    stats: Mutex<Vec<InstanceStats>>,
+}
+
+impl Shared {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() as u64).max(1)
+    }
+
+    /// Emitter fast path: non-blocking push into `dest`'s mailbox. On
+    /// `Err` the caller spills to its outbox and parks at activation end.
+    pub(crate) fn try_push(&self, dest: usize, packet: Packet) -> Result<(), Packet> {
+        let mb = self.tasks[dest].mailbox.as_ref().expect("edge destinations are bolts");
+        {
+            let mut inner = mb.inner.lock().expect("mailbox lock");
+            if inner.queue.len() >= mb.cap {
+                return Err(packet);
+            }
+            inner.queue.push_back(packet);
+        }
+        self.wake(dest, WakeKind::Notify);
+        Ok(())
+    }
+
+    /// Delivery path: like [`Shared::try_push`], but on full registers
+    /// `waiter` for a backpressure-release wake — under the same lock as
+    /// the capacity check, so the release can never be missed.
+    fn push_or_park(&self, dest: usize, packet: Packet, waiter: usize) -> Result<(), Packet> {
+        let mb = self.tasks[dest].mailbox.as_ref().expect("edge destinations are bolts");
+        {
+            let mut inner = mb.inner.lock().expect("mailbox lock");
+            if inner.queue.len() >= mb.cap {
+                debug_assert_ne!(
+                    self.tasks[dest].state.load(SeqCst),
+                    DONE,
+                    "a done task cannot still have senders (Eof protocol)"
+                );
+                if !inner.waiters.contains(&waiter) {
+                    inner.waiters.push(waiter);
+                }
+                return Err(packet);
+            }
+            inner.queue.push_back(packet);
+        }
+        self.wake(dest, WakeKind::Notify);
+        Ok(())
+    }
+
+    /// Drain up to `max` packets of `tid`'s own mailbox into `inbox`,
+    /// waking any producers that were parked on the mailbox being full.
+    fn refill_inbox(&self, tid: usize, inbox: &mut PacketBatch, max: usize) -> usize {
+        let mb = self.tasks[tid].mailbox.as_ref().expect("bolts have mailboxes");
+        let (moved, waiters) = {
+            let mut inner = mb.inner.lock().expect("mailbox lock");
+            let moved = inbox.refill(&mut inner.queue, max);
+            let waiters = if moved > 0 && !inner.waiters.is_empty() {
+                std::mem::take(&mut inner.waiters)
+            } else {
+                Vec::new()
+            };
+            (moved, waiters)
+        };
+        for w in waiters {
+            self.wake(w, WakeKind::Unpark);
+        }
+        moved
+    }
+
+    /// Drive the state machine for a wake; returns whether the caller must
+    /// queue the task.
+    fn wake_state(&self, t: usize, kind: &WakeKind) -> bool {
+        let state = &self.tasks[t].state;
+        loop {
+            match state.load(SeqCst) {
+                IDLE => {
+                    if state.compare_exchange(IDLE, QUEUED, SeqCst, SeqCst).is_ok() {
+                        return true;
+                    }
+                }
+                PARKED => match kind {
+                    WakeKind::Unpark => {
+                        if state.compare_exchange(PARKED, QUEUED, SeqCst, SeqCst).is_ok() {
+                            return true;
+                        }
+                    }
+                    WakeKind::Notify => return false,
+                },
+                RUNNING => {
+                    if state.compare_exchange(RUNNING, NOTIFIED, SeqCst, SeqCst).is_ok() {
+                        return false;
+                    }
+                }
+                QUEUED | NOTIFIED | DONE => return false,
+                other => unreachable!("invalid task state {other}"),
+            }
+        }
+    }
+
+    fn wake(&self, t: usize, kind: WakeKind) {
+        if self.wake_state(t, &kind) {
+            self.sched.lock().expect("sched lock").runq.push_back(t);
+            self.unpark_one_idler();
+        }
+    }
+
+    fn unpark_one_idler(&self) {
+        let popped = self.idlers.lock().expect("idlers lock").pop();
+        if let Some((_, u)) = popped {
+            u.unpark();
+        }
+    }
+
+    fn unpark_all_idlers(&self) {
+        let drained: Vec<_> = self.idlers.lock().expect("idlers lock").drain(..).collect();
+        for (_, u) in drained {
+            u.unpark();
+        }
+    }
+}
+
+/// Append one Eof per downstream instance (all edges) to the outbox.
+fn queue_eofs(edges: &[OutEdge], outbox: &mut VecDeque<(usize, Packet)>) {
+    for edge in edges {
+        match &edge.tx {
+            EdgeTx::Tasks(dests) => {
+                for &d in dests {
+                    outbox.push_back((d, Packet::Eof));
+                }
+            }
+            EdgeTx::Channels(_) => unreachable!("pool tasks only have pool edges"),
+        }
+    }
+}
+
+/// Deliver spilled emissions in order; `false` means a downstream mailbox
+/// is full and `tid` is registered for its release wake.
+fn deliver_outbox(shared: &Shared, tid: usize, outbox: &mut VecDeque<(usize, Packet)>) -> bool {
+    while let Some((dest, packet)) = outbox.pop_front() {
+        if let Err(packet) = shared.push_or_park(dest, packet, tid) {
+            outbox.push_front((dest, packet));
+            return false;
+        }
+    }
+    true
+}
+
+fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
+    body.activations += 1;
+    if !deliver_outbox(shared, tid, &mut body.outbox) {
+        return Outcome::Park;
+    }
+    if is_complete(body) {
+        // The Eof protocol finished on an earlier activation, but the task
+        // parked on its trailing deliveries; the outbox just drained.
+        return Outcome::Done;
+    }
+    let TaskBody {
+        kind,
+        edges,
+        outbox,
+        inbox,
+        processed,
+        emitted,
+        ticks,
+        latency,
+        sampler,
+        final_state,
+        ..
+    } = body;
+    match kind {
+        TaskKind::Spout { spout, exhausted } => {
+            if !*exhausted {
+                for _ in 0..shared.batch {
+                    match spout.next() {
+                        Some(tuple) => {
+                            *processed += 1;
+                            let now_ns = shared.now_ns();
+                            let mut em = Emitter {
+                                edges,
+                                sink: Sink::Pool { shared, outbox },
+                                inherit_born_ns: 0,
+                                now_ns,
+                                emitted,
+                            };
+                            em.emit(tuple);
+                            if !outbox.is_empty() {
+                                // Downstream full: stop producing, park.
+                                break;
+                            }
+                        }
+                        None => {
+                            *exhausted = true;
+                            queue_eofs(edges, outbox);
+                            break;
+                        }
+                    }
+                }
+            }
+            if !deliver_outbox(shared, tid, outbox) {
+                return Outcome::Park;
+            }
+            if *exhausted {
+                Outcome::Done
+            } else {
+                Outcome::Yield
+            }
+        }
+        TaskKind::Bolt { bolt, eof_remaining, tick_period_ns, next_tick_ns } => {
+            // 1. Tick deadlines, catching up on every overdue period (the
+            //    legacy executor's deadline-first loop does the same).
+            if let Some(period) = *tick_period_ns {
+                let mut now_ns = shared.now_ns();
+                let mut fired = false;
+                while now_ns >= *next_tick_ns {
+                    // Sample state at its peak, before the tick flushes it.
+                    sampler.sample(bolt.state_size());
+                    let mut em = Emitter {
+                        edges,
+                        sink: Sink::Pool { shared, outbox },
+                        inherit_born_ns: 0,
+                        now_ns,
+                        emitted,
+                    };
+                    bolt.tick(&mut em);
+                    *ticks += 1;
+                    *next_tick_ns += period;
+                    fired = true;
+                    now_ns = shared.now_ns();
+                }
+                if fired {
+                    // Re-arm the wheel for the advanced deadline.
+                    shared.sched.lock().expect("sched lock").timers.insert(*next_tick_ns, tid);
+                    if !deliver_outbox(shared, tid, outbox) {
+                        return Outcome::Park;
+                    }
+                }
+            }
+            // 2. Input packets, up to the batch quantum.
+            let mut budget = shared.batch;
+            while budget > 0 {
+                if inbox.is_empty() && shared.refill_inbox(tid, inbox, budget) == 0 {
+                    break;
+                }
+                let packet = inbox.pop().expect("refilled non-empty");
+                budget -= 1;
+                match packet {
+                    Packet::Tuple(tuple) => {
+                        let now_ns = shared.now_ns();
+                        latency.record(now_ns.saturating_sub(tuple.born_ns));
+                        let mut em = Emitter {
+                            edges,
+                            sink: Sink::Pool { shared, outbox },
+                            inherit_born_ns: tuple.born_ns,
+                            now_ns,
+                            emitted,
+                        };
+                        bolt.execute(tuple, &mut em);
+                        *processed += 1;
+                        if !outbox.is_empty() && !deliver_outbox(shared, tid, outbox) {
+                            return Outcome::Park;
+                        }
+                    }
+                    Packet::Eof => {
+                        *eof_remaining -= 1;
+                        if *eof_remaining == 0 {
+                            // Every sender's Eof is its last send, so FIFO
+                            // implies nothing can follow the final Eof.
+                            debug_assert!(inbox.is_empty(), "packets after final Eof");
+                            sampler.sample(bolt.state_size());
+                            *final_state = bolt.state_size();
+                            let now_ns = shared.now_ns();
+                            let mut em = Emitter {
+                                edges,
+                                sink: Sink::Pool { shared, outbox },
+                                inherit_born_ns: 0,
+                                now_ns,
+                                emitted,
+                            };
+                            bolt.finish(&mut em);
+                            queue_eofs(edges, outbox);
+                            if !deliver_outbox(shared, tid, outbox) {
+                                return Outcome::Park;
+                            }
+                            return Outcome::Done;
+                        }
+                    }
+                }
+            }
+            // budget > 0 here means the final refill found the mailbox
+            // empty; any packet arriving after that flips us to NOTIFIED,
+            // so idling cannot lose a wake.
+            if inbox.is_empty() && budget > 0 {
+                Outcome::Idle
+            } else {
+                Outcome::Yield
+            }
+        }
+    }
+}
+
+/// Is the Eof protocol complete for this body? (Outbox drained and, for
+/// bolts, the final Eof processed.) A parked task can be `Done`-pending:
+/// it finishes on a later activation once its outbox drains.
+fn is_complete(body: &TaskBody) -> bool {
+    if !body.outbox.is_empty() {
+        return false;
+    }
+    match &body.kind {
+        TaskKind::Spout { exhausted, .. } => *exhausted,
+        TaskKind::Bolt { eof_remaining, .. } => *eof_remaining == 0,
+    }
+}
+
+fn run_task(shared: &Shared, tid: usize, wid: usize) {
+    let slot = &shared.tasks[tid];
+    let prev = slot.state.swap(RUNNING, SeqCst);
+    debug_assert_eq!(prev, QUEUED, "only queued tasks run");
+    let mut body = slot.body.lock().expect("body lock").take().expect("queued task owns a body");
+    let outcome = activate(shared, tid, &mut body);
+    if matches!(outcome, Outcome::Done) {
+        shared.stats.lock().expect("stats lock").push(body.into_stats());
+        slot.state.store(DONE, SeqCst);
+        if shared.remaining.fetch_sub(1, SeqCst) == 1 {
+            shared.unpark_all_idlers();
+        }
+        return;
+    }
+    *slot.body.lock().expect("body lock") = Some(body);
+    let requeue = || {
+        slot.state.store(QUEUED, SeqCst);
+        shared.locals[wid].lock().expect("local queue lock").push_back(tid);
+    };
+    match outcome {
+        // Quantum exhausted with input left.
+        Outcome::Yield => requeue(),
+        // The CAS failure arms handle wakes that landed mid-activation
+        // (state is NOTIFIED): requeue instead of going quiet.
+        Outcome::Idle => {
+            if slot.state.compare_exchange(RUNNING, IDLE, SeqCst, SeqCst).is_err() {
+                requeue();
+            }
+        }
+        Outcome::Park => {
+            if slot.state.compare_exchange(RUNNING, PARKED, SeqCst, SeqCst).is_err() {
+                requeue();
+            }
+        }
+        Outcome::Done => unreachable!("handled above"),
+    }
+}
+
+fn steal(shared: &Shared, wid: usize) -> Option<usize> {
+    let n = shared.locals.len();
+    for k in 1..n {
+        let victim = (wid + k) % n;
+        let stolen = shared.locals[victim].lock().expect("local queue lock").pop_back();
+        if stolen.is_some() {
+            return stolen;
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared, wid: usize) {
+    let parker = Parker::new();
+    let mut due: Vec<usize> = Vec::new();
+    loop {
+        // Pick order: global injector (also firing due timers) → own local
+        // queue → steal from a sibling. Global-first keeps freshly woken
+        // tasks from starving behind a self-requeueing task.
+        let task = {
+            let mut s = shared.sched.lock().expect("sched lock");
+            due.clear();
+            s.timers.fire(shared.now_ns(), &mut due);
+            for &t in &due {
+                if shared.wake_state(t, &WakeKind::Notify) {
+                    s.runq.push_back(t);
+                }
+            }
+            s.runq.pop_front()
+        };
+        let task = task
+            .or_else(|| shared.locals[wid].lock().expect("local queue lock").pop_front())
+            .or_else(|| steal(shared, wid));
+        match task {
+            Some(tid) => {
+                run_task(shared, tid, wid);
+            }
+            None => {
+                if shared.remaining.load(SeqCst) == 0 {
+                    shared.unpark_all_idlers();
+                    return;
+                }
+                // Register as idle *before* re-checking the queue: a
+                // producer that enqueues after our check will pop our
+                // unparker, and a pre-park unpark makes park return
+                // immediately (no lost wake).
+                shared.idlers.lock().expect("idlers lock").push((wid, parker.unparker()));
+                let (empty, next_deadline) = {
+                    let s = shared.sched.lock().expect("sched lock");
+                    (s.runq.is_empty(), s.timers.next_deadline_ns())
+                };
+                if empty && shared.remaining.load(SeqCst) != 0 {
+                    let sleep = next_deadline
+                        .map(|d| Duration::from_nanos(d.saturating_sub(shared.now_ns())))
+                        .unwrap_or(MAX_IDLE_PARK)
+                        .clamp(Duration::from_micros(50), MAX_IDLE_PARK);
+                    parker.park_timeout(sleep);
+                }
+                shared.idlers.lock().expect("idlers lock").retain(|(w, _)| *w != wid);
+            }
+        }
+    }
+}
+
+/// Execute `topology` on a cooperative pool of `workers` threads with a
+/// per-activation quantum of `batch` packets.
+pub(crate) fn run_pool(
+    topology: Topology,
+    channel_capacity: usize,
+    seed: u64,
+    workers: usize,
+    batch: usize,
+) -> RunStats {
+    // Pool mailboxes are asynchronous queues with no rendezvous mode: a
+    // capacity-0 mailbox could never accept a packet and every producer
+    // would park forever. The thread executor's capacity-0 channels are
+    // rendezvous channels; capacity 1 is the closest pool equivalent.
+    let mailbox_capacity = channel_capacity.max(1);
+    let n_components = topology.components.len();
+    let out_edges = crate::runtime::build_out_edges(&topology, seed);
+    let upstream = crate::runtime::upstream_sender_counts(&topology);
+    let mut first_task = Vec::with_capacity(n_components);
+    let mut total_instances = 0usize;
+    for c in &topology.components {
+        first_task.push(total_instances);
+        total_instances += c.parallelism;
+    }
+
+    let epoch = Instant::now();
+    let mut tasks = Vec::with_capacity(total_instances);
+    let mut timers = TimerWheel::new();
+    let mut runq = VecDeque::new();
+    for (ci, c) in topology.components.iter().enumerate() {
+        for i in 0..c.parallelism {
+            let tid = first_task[ci] + i;
+            let edges: Vec<OutEdge> = out_edges[ci]
+                .iter()
+                .map(|(to, grouping, edge_seed)| OutEdge {
+                    router: Router::new(
+                        grouping,
+                        topology.components[*to].parallelism,
+                        *edge_seed,
+                        i,
+                    ),
+                    tx: EdgeTx::Tasks(
+                        (0..topology.components[*to].parallelism)
+                            .map(|j| first_task[*to] + j)
+                            .collect(),
+                    ),
+                })
+                .collect();
+            let (kind, mailbox, initial_state) = match &c.kind {
+                ComponentKind::Spout(factory) => {
+                    runq.push_back(tid);
+                    (TaskKind::Spout { spout: factory(i), exhausted: false }, None, QUEUED)
+                }
+                ComponentKind::Bolt(factory) => {
+                    let period_ns = c.tick_every.map(|p| (p.as_nanos() as u64).max(1));
+                    let next_tick_ns = match period_ns {
+                        Some(p) => {
+                            let deadline = (epoch.elapsed().as_nanos() as u64).max(1) + p;
+                            timers.insert(deadline, tid);
+                            deadline
+                        }
+                        None => u64::MAX,
+                    };
+                    (
+                        TaskKind::Bolt {
+                            bolt: factory(i),
+                            eof_remaining: upstream[ci],
+                            tick_period_ns: period_ns,
+                            next_tick_ns,
+                        },
+                        Some(Mailbox { cap: mailbox_capacity, inner: Mutex::default() }),
+                        IDLE,
+                    )
+                }
+            };
+            tasks.push(TaskSlot {
+                state: AtomicU8::new(initial_state),
+                mailbox,
+                body: Mutex::new(Some(Box::new(TaskBody {
+                    component: c.name.clone(),
+                    instance: i,
+                    kind,
+                    edges,
+                    outbox: VecDeque::new(),
+                    inbox: PacketBatch::default(),
+                    processed: 0,
+                    emitted: 0,
+                    ticks: 0,
+                    activations: 0,
+                    latency: LatencyHistogram::new(5),
+                    sampler: StateSampler::default(),
+                    final_state: 0,
+                }))),
+            });
+        }
+    }
+
+    let shared = Shared {
+        tasks,
+        sched: Mutex::new(Sched { runq, timers }),
+        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        idlers: Mutex::new(Vec::new()),
+        remaining: AtomicUsize::new(total_instances),
+        epoch,
+        batch,
+        stats: Mutex::new(Vec::with_capacity(total_instances)),
+    };
+
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let shared = &shared;
+            scope.spawn(move || worker_loop(shared, wid));
+        }
+    });
+
+    let wall = epoch.elapsed();
+    let mut instances = shared.stats.into_inner().expect("stats lock");
+    assert_eq!(instances.len(), total_instances, "every task reports stats");
+    instances.sort_by(|a, b| a.component.cmp(&b.component).then(a.instance.cmp(&b.instance)));
+    RunStats { wall, instances }
+}

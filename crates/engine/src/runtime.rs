@@ -1,17 +1,63 @@
-//! Topology execution: one OS thread per instance, bounded channels per
-//! edge, Eof-counting shutdown.
+//! Topology execution: either one OS thread per instance with bounded
+//! channels per edge (the original engine, kept as a differential-testing
+//! oracle), or a cooperative worker-pool scheduler (`crate::pool`) that
+//! runs hundred-instance topologies in one process. Both share the same
+//! edge-seed derivation and Eof-counting shutdown, so a topology routes
+//! byte-identically under either executor.
 
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Sender};
 use pkg_hash::murmur3::fmix64;
 
-use crate::bolt::OutEdge;
+use crate::bolt::{EdgeTx, OutEdge};
 use crate::executor::{run_bolt, run_spout};
-use crate::grouping::Router;
+use crate::grouping::{Grouping, Router};
 use crate::metrics::{InstanceStats, RunStats};
 use crate::topology::{ComponentKind, Topology};
 use crate::tuple::Packet;
+
+/// Which executor drives a topology's instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorMode {
+    /// One OS thread per processing element instance, blocking bounded
+    /// channels per edge. Faithful to the paper's one-executor-per-PEI
+    /// deployment, but collapses into scheduler thrash beyond ~100
+    /// instances; kept as the differential-testing oracle for the pool.
+    ThreadPerInstance,
+    /// Cooperative worker-pool scheduler: a fixed pool of worker threads
+    /// drives every instance as a task with its own mailbox, batching
+    /// packets per activation and parking on backpressure instead of
+    /// blocking OS threads. Hundreds of instances fit one process.
+    Pool {
+        /// Worker threads; `0` = `std::thread::available_parallelism()`.
+        workers: usize,
+        /// Packets drained per task activation; `0` = the default quantum
+        /// ([`crate::pool::DEFAULT_BATCH`]).
+        batch: usize,
+    },
+}
+
+impl ExecutorMode {
+    /// The pool executor with default worker count and batch quantum.
+    pub fn pool() -> Self {
+        ExecutorMode::Pool { workers: 0, batch: 0 }
+    }
+
+    /// Executor selected by the `PKG_ENGINE_EXECUTOR` environment variable
+    /// (`pool` or `threads`), if set. Lets CI run the whole workspace test
+    /// suite under the pool executor without touching any call site.
+    fn from_env() -> Option<Self> {
+        match std::env::var("PKG_ENGINE_EXECUTOR") {
+            Ok(v) => match v.as_str() {
+                "pool" => Some(ExecutorMode::pool()),
+                "threads" | "thread-per-instance" | "" => Some(ExecutorMode::ThreadPerInstance),
+                other => panic!("PKG_ENGINE_EXECUTOR must be 'pool' or 'threads', got {other:?}"),
+            },
+            Err(_) => None,
+        }
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -22,11 +68,20 @@ pub struct RuntimeOptions {
     pub channel_capacity: usize,
     /// Seed for edge hash functions.
     pub seed: u64,
+    /// Executor driving the instances. The default honors
+    /// `PKG_ENGINE_EXECUTOR` (falling back to
+    /// [`ExecutorMode::ThreadPerInstance`]), so the executor under test is
+    /// switchable process-wide.
+    pub executor: ExecutorMode,
 }
 
 impl Default for RuntimeOptions {
     fn default() -> Self {
-        Self { channel_capacity: 1_024, seed: 42 }
+        Self {
+            channel_capacity: 1_024,
+            seed: 42,
+            executor: ExecutorMode::from_env().unwrap_or(ExecutorMode::ThreadPerInstance),
+        }
     }
 }
 
@@ -36,6 +91,30 @@ impl Default for RuntimeOptions {
 /// in `pkg-apps::heavy_hitters` — can reproduce a run's routing exactly.
 pub fn edge_seed(runtime_seed: u64, from: usize, to: usize) -> u64 {
     fmix64(runtime_seed ^ ((from as u64) << 32 | to as u64))
+}
+
+/// Outgoing edges of each component: `(to, grouping, edge_seed)` in input
+/// declaration order. Shared by both executors so routing is identical.
+pub(crate) fn build_out_edges(topology: &Topology, seed: u64) -> Vec<Vec<(usize, Grouping, u64)>> {
+    let mut out_edges: Vec<Vec<(usize, Grouping, u64)>> =
+        vec![Vec::new(); topology.components.len()];
+    for (to, c) in topology.components.iter().enumerate() {
+        for (from, grouping) in &c.inputs {
+            out_edges[from.0].push((to, grouping.clone(), edge_seed(seed, from.0, to)));
+        }
+    }
+    out_edges
+}
+
+/// Upstream sender (instance) counts per component, for Eof bookkeeping.
+pub(crate) fn upstream_sender_counts(topology: &Topology) -> Vec<usize> {
+    let mut upstream = vec![0usize; topology.components.len()];
+    for (my_index, c) in topology.components.iter().enumerate() {
+        for (from, _) in &c.inputs {
+            upstream[my_index] += topology.components[from.0].parallelism;
+        }
+    }
+    upstream
 }
 
 /// Executes topologies.
@@ -59,6 +138,24 @@ impl Runtime {
     /// drained) and return the collected statistics.
     pub fn run(&self, topology: Topology) -> RunStats {
         topology.validate();
+        match self.opts.executor {
+            ExecutorMode::ThreadPerInstance => self.run_thread_per_instance(topology),
+            ExecutorMode::Pool { workers, batch } => crate::pool::run_pool(
+                topology,
+                self.opts.channel_capacity,
+                self.opts.seed,
+                if workers == 0 {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                } else {
+                    workers
+                },
+                if batch == 0 { crate::pool::DEFAULT_BATCH } else { batch },
+            ),
+        }
+    }
+
+    /// The original executor: spawn one OS thread per instance.
+    fn run_thread_per_instance(&self, topology: Topology) -> RunStats {
         let n_components = topology.components.len();
 
         // Input channels: one per bolt instance. Spouts have none.
@@ -85,33 +182,11 @@ impl Runtime {
             }
         }
 
-        // Reverse adjacency: outgoing edges of each component, with a stable
-        // per-edge seed so all senders agree on hash candidates.
-        // Edge (from, to): routers built per sender instance.
-        let mut out_edges: Vec<Vec<(usize, crate::grouping::Grouping, u64)>> =
-            vec![Vec::new(); n_components];
-        for (to, c) in topology.components.iter().enumerate() {
-            for (from, grouping) in &c.inputs {
-                out_edges[from.0].push((
-                    to,
-                    grouping.clone(),
-                    edge_seed(self.opts.seed, from.0, to),
-                ));
-            }
-        }
-
-        // Upstream sender counts per component (for Eof bookkeeping).
-        let mut upstream_senders = vec![0usize; n_components];
-        for c in topology.components.iter() {
-            let my_index = topology
-                .components
-                .iter()
-                .position(|x| std::ptr::eq(x, c))
-                .expect("component is in its own topology");
-            for (from, _) in &c.inputs {
-                upstream_senders[my_index] += topology.components[from.0].parallelism;
-            }
-        }
+        // Reverse adjacency with stable per-edge seeds, and upstream
+        // sender counts for Eof bookkeeping — both shared with the pool
+        // executor so the two route identically.
+        let out_edges = build_out_edges(&topology, self.opts.seed);
+        let upstream_senders = upstream_sender_counts(&topology);
 
         let epoch = Instant::now();
         let (stats_tx, stats_rx) = crossbeam::channel::unbounded::<InstanceStats>();
@@ -134,10 +209,12 @@ impl Runtime {
                             *edge_seed,
                             i,
                         ),
-                        txs: txs[*to]
-                            .iter()
-                            .map(|t| t.as_ref().expect("bolt txs live until spawn").clone())
-                            .collect(),
+                        tx: EdgeTx::Channels(
+                            txs[*to]
+                                .iter()
+                                .map(|t| t.as_ref().expect("bolt txs live until spawn").clone())
+                                .collect(),
+                        ),
                     })
                     .collect();
                 let name = c.name.clone();
@@ -295,7 +372,12 @@ mod tests {
         let _ = t
             .add_bolt("count", 4, |_| Box::new(CountingBolt::default()))
             .input(s, Grouping::partial_key());
-        let stats = Runtime::with_options(RuntimeOptions { channel_capacity: 1024, seed }).run(t);
+        let stats = Runtime::with_options(RuntimeOptions {
+            channel_capacity: 1024,
+            seed,
+            ..RuntimeOptions::default()
+        })
+        .run(t);
         let loads = stats.loads("count");
         let max = *loads.iter().max().expect("non-empty");
         // KG would put ≥ 6000 on one instance; PKG splits the hot key over
@@ -365,6 +447,184 @@ mod tests {
         assert!(lat.mean() > 0.0);
     }
 
+    fn pool_opts(
+        workers: usize,
+        batch: usize,
+        channel_capacity: usize,
+        seed: u64,
+    ) -> RuntimeOptions {
+        RuntimeOptions { channel_capacity, seed, executor: ExecutorMode::Pool { workers, batch } }
+    }
+
+    #[test]
+    fn pool_counts_everything_and_matches_thread_loads() {
+        let build = || {
+            let mut t = Topology::new();
+            let s = t.add_spout("src", 2, |_| spout_from_iter(word_stream(4_000, 23)));
+            let _ = t
+                .add_bolt("count", 4, |_| Box::new(CountingBolt::default()))
+                .input(s, Grouping::partial_key());
+            t
+        };
+        let threads = Runtime::with_options(RuntimeOptions {
+            channel_capacity: 64,
+            seed: 7,
+            executor: ExecutorMode::ThreadPerInstance,
+        })
+        .run(build());
+        let pool = Runtime::with_options(pool_opts(2, 0, 64, 7)).run(build());
+        assert_eq!(pool.processed("count"), 8_000);
+        // Byte-identical routing: per-instance loads agree exactly.
+        assert_eq!(pool.loads("count"), threads.loads("count"));
+        assert!(pool.activations("count") > 0, "pool counts activations");
+    }
+
+    #[test]
+    fn pool_single_worker_completes_deep_chains() {
+        // One worker, five cooperative stages, tiny mailboxes: progress
+        // relies entirely on park/unpark, not on thread parallelism.
+        struct Inc;
+        impl Bolt for Inc {
+            fn execute(&mut self, mut t: Tuple, out: &mut Emitter<'_>) {
+                t.value += 1;
+                out.emit(t);
+            }
+        }
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(2_000, 5)));
+        let mut prev = s;
+        for name in ["a", "b", "c", "d"] {
+            prev = t.add_bolt(name, 1, |_| Box::new(Inc)).input(prev, Grouping::Global).id();
+        }
+        let _ = t
+            .add_bolt("sink", 1, |_| Box::new(CountingBolt::default()))
+            .input(prev, Grouping::Global);
+        let stats = Runtime::with_options(pool_opts(1, 8, 2, 3)).run(t);
+        assert_eq!(stats.processed("sink"), 2_000);
+        assert_eq!(stats.emitted("d"), 2_000);
+    }
+
+    #[test]
+    fn pool_backpressure_parks_instead_of_blocking() {
+        // Fast fan-in onto one slow consumer with capacity 1: producers
+        // must park and be woken by the consumer, with nothing lost.
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 3, |_| spout_from_iter(word_stream(1_500, 3)));
+        let _ =
+            t.add_bolt("slow", 1, |_| Box::new(CountingBolt::default())).input(s, Grouping::Global);
+        let stats = Runtime::with_options(pool_opts(2, 16, 1, 11)).run(t);
+        assert_eq!(stats.processed("slow"), 4_500);
+    }
+
+    #[test]
+    fn pool_ticks_fire_from_timer_wheel() {
+        #[derive(Default)]
+        struct FlushBolt {
+            pending: i64,
+        }
+        impl Bolt for FlushBolt {
+            fn execute(&mut self, t: Tuple, _out: &mut Emitter<'_>) {
+                self.pending += t.value;
+            }
+            fn tick(&mut self, out: &mut Emitter<'_>) {
+                if self.pending > 0 {
+                    out.emit(Tuple::new(b"flush".to_vec(), self.pending));
+                    self.pending = 0;
+                }
+            }
+            fn finish(&mut self, out: &mut Emitter<'_>) {
+                if self.pending > 0 {
+                    out.emit(Tuple::new(b"flush".to_vec(), self.pending));
+                    self.pending = 0;
+                }
+            }
+        }
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| {
+            let mut i = 0;
+            spout_from_fn(move || {
+                i += 1;
+                if i > 150 {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_micros(300));
+                Some(Tuple::new(b"k".to_vec(), 1))
+            })
+        });
+        let f = t
+            .add_bolt("flush", 1, |_| Box::new(FlushBolt::default()))
+            .input(s, Grouping::Global)
+            .tick_every(Duration::from_millis(5))
+            .id();
+        struct SummingSink(std::sync::Arc<std::sync::atomic::AtomicI64>);
+        impl Bolt for SummingSink {
+            fn execute(&mut self, t: Tuple, _out: &mut Emitter<'_>) {
+                self.0.fetch_add(t.value, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let mass = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
+        let m = std::sync::Arc::clone(&mass);
+        let _ = t
+            .add_bolt("sum", 1, move |_| Box::new(SummingSink(std::sync::Arc::clone(&m))))
+            .input(f, Grouping::Global);
+        let stats = Runtime::with_options(pool_opts(2, 32, 1024, 5)).run(t);
+        let sink = stats.instances.iter().find(|i| i.component == "sum").expect("sink exists");
+        assert_eq!(sink.processed, stats.emitted("flush"));
+        let flusher =
+            stats.instances.iter().find(|i| i.component == "flush").expect("flusher exists");
+        assert!(flusher.ticks >= 2, "expected ticks via the timer wheel, got {}", flusher.ticks);
+        // Conservation through flushing: every unit arrives at the sink
+        // exactly once, even across catch-up tick bursts.
+        assert_eq!(mass.load(std::sync::atomic::Ordering::SeqCst), 150);
+    }
+
+    #[test]
+    fn pool_diamond_and_broadcast_drain() {
+        struct Forward;
+        impl Bolt for Forward {
+            fn execute(&mut self, t: Tuple, out: &mut Emitter<'_>) {
+                out.emit(t);
+            }
+        }
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 2, |_| spout_from_iter(word_stream(1_000, 13)));
+        let a = t.add_bolt("a", 2, |_| Box::new(Forward)).input(s, Grouping::Shuffle).id();
+        let b = t.add_bolt("b", 3, |_| Box::new(Forward)).input(s, Grouping::Broadcast).id();
+        let _join = t
+            .add_bolt("join", 2, |_| Box::new(CountingBolt::default()))
+            .input(a, Grouping::Key)
+            .input(b, Grouping::Key);
+        let stats = Runtime::with_options(pool_opts(3, 64, 32, 2)).run(t);
+        assert_eq!(stats.processed("a"), 2_000);
+        assert_eq!(stats.processed("b"), 6_000, "broadcast replicates to all 3");
+        assert_eq!(stats.processed("join"), 8_000);
+    }
+
+    #[test]
+    fn pool_zero_capacity_clamps_to_one_and_completes() {
+        // The thread executor's capacity-0 channels are rendezvous
+        // channels; pool mailboxes have no rendezvous mode and clamp to 1
+        // instead of deadlocking every producer.
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(500, 7)));
+        let _ = t
+            .add_bolt("sink", 2, |_| Box::new(CountingBolt::default()))
+            .input(s, Grouping::Shuffle);
+        let stats = Runtime::with_options(pool_opts(2, 16, 0, 9)).run(t);
+        assert_eq!(stats.processed("sink"), 500);
+    }
+
+    #[test]
+    fn pool_empty_stream_shuts_down() {
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 3, |_| spout_from_iter(Vec::new()));
+        let _ = t
+            .add_bolt("sink", 2, |_| Box::new(CountingBolt::default()))
+            .input(s, Grouping::Shuffle);
+        let stats = Runtime::with_options(pool_opts(2, 0, 8, 1)).run(t);
+        assert_eq!(stats.processed("sink"), 0);
+    }
+
     #[test]
     fn backpressure_does_not_deadlock() {
         // Tiny queues, fast producer, slow consumer: must still complete.
@@ -381,7 +641,12 @@ mod tests {
                 Box::new(SlowBolt)
             })
             .input(s, Grouping::Shuffle);
-        let stats = Runtime::with_options(RuntimeOptions { channel_capacity: 4, seed: 1 }).run(t);
+        let stats = Runtime::with_options(RuntimeOptions {
+            channel_capacity: 4,
+            seed: 1,
+            ..RuntimeOptions::default()
+        })
+        .run(t);
         assert_eq!(stats.processed("slow"), 2_000);
     }
 }

@@ -58,9 +58,64 @@ pub enum Packet {
     Eof,
 }
 
+/// A reusable batch of packets drained from a mailbox in one lock
+/// acquisition.
+///
+/// The pool executor's hot path amortizes synchronization over the batch
+/// quantum: instead of locking the mailbox once per packet (the
+/// channel-`recv` cost structure of the thread-per-instance executor), a
+/// task activation moves up to `B` packets here under a single lock and
+/// processes them lock-free. Packets left over when an activation suspends
+/// (downstream backpressure) stay in the batch and are consumed first on
+/// the next activation, preserving per-sender FIFO order — which is what
+/// keeps Eof counting and byte-identical routing intact across executors.
+#[derive(Debug, Default)]
+pub(crate) struct PacketBatch {
+    items: std::collections::VecDeque<Packet>,
+}
+
+impl PacketBatch {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Packet> {
+        self.items.pop_front()
+    }
+
+    /// Move up to `max` packets from `queue` (a mailbox's locked interior)
+    /// into this batch; returns how many moved.
+    pub(crate) fn refill(
+        &mut self,
+        queue: &mut std::collections::VecDeque<Packet>,
+        max: usize,
+    ) -> usize {
+        let n = max.min(queue.len());
+        self.items.extend(queue.drain(..n));
+        n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn packet_batch_refill_preserves_fifo_and_caps_at_max() {
+        let mut q: std::collections::VecDeque<Packet> =
+            (0..5).map(|i| Packet::Tuple(Tuple::new(vec![i as u8], i))).collect();
+        let mut b = PacketBatch::default();
+        assert_eq!(b.refill(&mut q, 3), 3);
+        assert_eq!(q.len(), 2);
+        for want in 0..3 {
+            match b.pop() {
+                Some(Packet::Tuple(t)) => assert_eq!(t.value, want),
+                other => panic!("expected tuple, got {other:?}"),
+            }
+        }
+        assert!(b.is_empty());
+        assert_eq!(b.refill(&mut q, 10), 2);
+    }
 
     #[test]
     fn key_id_is_stable_and_collision_free_on_small_sets() {

@@ -32,9 +32,12 @@ fn main() {
 
     // Run the two-phase topology: source → 8 workers → aggregator.
     let (topo, collector) = heavy_hitters_topology(&cfg);
-    let stats =
-        Runtime::with_options(RuntimeOptions { channel_capacity: 1024, seed: cfg.engine_seed })
-            .run(topo);
+    let stats = Runtime::with_options(RuntimeOptions {
+        channel_capacity: 1024,
+        seed: cfg.engine_seed,
+        ..RuntimeOptions::default()
+    })
+    .run(topo);
     let merged = final_summary(&collector).expect("merged summary collected");
 
     // The pre-pkg-agg single-phase loop computes the identical summary.

@@ -1,0 +1,256 @@
+//! Differential tests: the thread-per-instance executor is the oracle for
+//! the cooperative pool executor. Routing state (per-sender routers seeded
+//! by the shared `edge_seed` derivation) is consulted in each sender's own
+//! processing order under both executors, so representative topologies must
+//! produce **identical** per-instance loads, processed/emitted counts, and
+//! (for the two-phase pipelines) byte-identical merged summaries — no
+//! tolerance, no statistics.
+
+use std::time::Duration;
+
+use partial_key_grouping::agg::{AggregatorBolt, Collector, PartialAgg, Sum, WindowedWorkerBolt};
+use partial_key_grouping::apps::heavy_hitters::{
+    final_summary, heavy_hitters_topology, single_phase_summary, HeavyHittersConfig,
+};
+use partial_key_grouping::apps::wordcount::{
+    exact_counts, wordcount_topology, WordCountConfig, WordCountVariant,
+};
+use partial_key_grouping::engine::prelude::*;
+use partial_key_grouping::engine::ExecutorMode;
+use pkg_datagen::DatasetProfile;
+
+const MODES: [(&str, ExecutorMode); 3] = [
+    ("threads", ExecutorMode::ThreadPerInstance),
+    ("pool", ExecutorMode::Pool { workers: 0, batch: 0 }),
+    // A degenerate pool (one worker, tiny quantum) exercises the
+    // yield/park machinery far harder than the tuned default.
+    ("pool-w1-b8", ExecutorMode::Pool { workers: 1, batch: 8 }),
+];
+
+fn opts(executor: ExecutorMode, seed: u64, channel_capacity: usize) -> RuntimeOptions {
+    RuntimeOptions { channel_capacity, seed, executor }
+}
+
+/// Deterministic per-instance observables of one run.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    loads: Vec<u64>,
+    processed: u64,
+    emitted: u64,
+}
+
+fn observe(stats: &partial_key_grouping::engine::RunStats, component: &str) -> Observed {
+    Observed {
+        loads: stats.loads(component),
+        processed: stats.processed(component),
+        emitted: stats.emitted(component),
+    }
+}
+
+/// Word count without periodic flushes is fully deterministic end to end:
+/// every variant must agree across executors down to per-instance loads.
+#[test]
+fn wordcount_loads_identical_across_executors() {
+    for variant in [
+        WordCountVariant::KeyGrouping,
+        WordCountVariant::ShuffleGrouping,
+        WordCountVariant::PartialKeyGrouping,
+    ] {
+        let cfg = WordCountConfig {
+            variant,
+            sources: 2,
+            counters: 7,
+            messages_per_source: 15_000,
+            vocabulary: 1_000,
+            aggregation_period: None,
+            seed: 97,
+            ..WordCountConfig::default()
+        };
+        let mut baseline: Option<(Observed, Observed)> = None;
+        for (label, mode) in MODES {
+            let (topo, _, _, _) = wordcount_topology(&cfg);
+            let stats = Runtime::with_options(opts(mode, 5, 256)).run(topo);
+            assert_eq!(
+                stats.processed("counter"),
+                30_000,
+                "{label}/{} message conservation",
+                variant.label()
+            );
+            let got = (observe(&stats, "counter"), observe(&stats, "aggregator"));
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => {
+                    assert_eq!(&got, want, "{label}/{} diverged from oracle", variant.label())
+                }
+            }
+        }
+    }
+}
+
+/// The two-phase heavy-hitters pipeline must produce a byte-identical
+/// merged SpaceSaving summary under every executor — and match the
+/// out-of-engine single-phase oracle, which replays the exact edge-seed
+/// derivation the runtime uses.
+#[test]
+fn heavy_hitters_summary_bytes_identical_across_executors() {
+    let cfg = HeavyHittersConfig {
+        workers: 6,
+        profile: DatasetProfile::cashtags().with_messages(30_000),
+        ..HeavyHittersConfig::default()
+    };
+    let oracle = single_phase_summary(&cfg).encoded();
+    for (label, mode) in MODES {
+        let (topo, collector) = heavy_hitters_topology(&cfg);
+        let stats = Runtime::with_options(opts(mode, cfg.engine_seed, 512)).run(topo);
+        assert_eq!(stats.processed("worker"), 30_000, "{label} conservation");
+        let summary = final_summary(&collector).expect("summary collected");
+        assert_eq!(summary.emit(), 30_000, "{label} summary mass");
+        assert_eq!(summary.encoded(), oracle, "{label} summary bytes diverged");
+    }
+}
+
+/// Tick-driven flushes are wall-clock dependent (tick counts legitimately
+/// differ between runs and executors), but conservation and final totals
+/// must not: the collector's per-key sums equal the exact stream counts
+/// under every executor.
+#[test]
+fn tick_flush_pipeline_conserves_counts_across_executors() {
+    let cfg = WordCountConfig {
+        variant: WordCountVariant::PartialKeyGrouping,
+        sources: 1,
+        counters: 5,
+        messages_per_source: 20_000,
+        vocabulary: 400,
+        seed: 13,
+        ..WordCountConfig::default()
+    };
+    let exact = exact_counts(&cfg);
+    for (label, mode) in MODES {
+        let collector = Collector::new();
+        let mut topo = Topology::new();
+        let c = cfg.clone();
+        let source = topo.add_spout("source", c.sources, move |i| {
+            let zipf = pkg_datagen::zipf::ZipfTable::with_p1(c.vocabulary, c.p1);
+            let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(
+                c.seed ^ (i as u64).wrapping_mul(0x9e37),
+            );
+            let mut left = c.messages_per_source;
+            spout_from_fn(move || {
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                let word = pkg_datagen::text::word_for_rank(zipf.sample(&mut rng));
+                Some(Tuple::new(word.into_bytes(), 1))
+            })
+        });
+        let worker = topo
+            .add_bolt("worker", cfg.counters, |_| Box::new(WindowedWorkerBolt::<Sum>::per_key()))
+            .input(source, Grouping::partial_key())
+            .tick_every(Duration::from_millis(5))
+            .id();
+        let agg = topo
+            .add_bolt("agg", 1, |_| Box::new(AggregatorBolt::<Sum>::new()))
+            .input(worker, Grouping::Key)
+            .id();
+        let col = collector.clone();
+        let _ = topo.add_bolt("sink", 1, move |_| col.bolt()).input(agg, Grouping::Global);
+        let stats = Runtime::with_options(opts(mode, cfg.seed, 1024)).run(topo);
+        assert_eq!(stats.processed("worker"), 20_000, "{label} conservation");
+        let instances = stats.instances.iter().filter(|i| i.component == "worker").count();
+        assert_eq!(instances, cfg.counters, "{label} all workers report");
+        let totals = collector.totals();
+        assert_eq!(
+            totals.iter().map(|(_, v)| v).sum::<i64>(),
+            20_000,
+            "{label} total mass through tick flushes"
+        );
+        for (key, total) in &totals {
+            let word = std::str::from_utf8(key).expect("words are utf8");
+            assert_eq!(*total, exact.get(word).copied().unwrap_or(0), "{label} word {word} total");
+        }
+    }
+}
+
+/// Diamond fan-in with multiple upstream components: Eof counting and
+/// multi-edge emission must agree across executors exactly.
+///
+/// Groupings here are deliberately stateless (`Key`/`Shuffle`-from-spout):
+/// a bolt fed by *several* upstream instances processes a nondeterministic
+/// interleaving of their streams — in any executor, run to run — so a
+/// load-estimating router (PKG) on such a bolt's out-edge is not
+/// reproducible even under the thread oracle. Byte-identical routing is a
+/// per-sender property: it holds wherever the sender's own processing
+/// order is deterministic, which the other tests pin down for PKG.
+#[test]
+fn diamond_topology_identical_across_executors() {
+    struct Forward;
+    impl Bolt for Forward {
+        fn execute(&mut self, t: Tuple, out: &mut Emitter<'_>) {
+            out.emit(t);
+        }
+    }
+    let build = || {
+        let mut topo = Topology::new();
+        let s = topo.add_spout("src", 2, |_| {
+            spout_from_iter(
+                (0..3_000u64).map(|i| Tuple::new(format!("k{}", i % 31).into_bytes(), 1)),
+            )
+        });
+        let a = topo.add_bolt("a", 2, |_| Box::new(Forward)).input(s, Grouping::Shuffle).id();
+        let b = topo.add_bolt("b", 3, |_| Box::new(Forward)).input(s, Grouping::Key).id();
+        let _join = topo
+            .add_bolt("join", 4, |_| Box::new(CountingBolt::default()))
+            .input(a, Grouping::Key)
+            .input(b, Grouping::Key);
+        topo
+    };
+    let mut baseline: Option<Vec<Observed>> = None;
+    for (label, mode) in MODES {
+        let stats = Runtime::with_options(opts(mode, 21, 128)).run(build());
+        let got: Vec<Observed> =
+            ["src", "a", "b", "join"].iter().map(|c| observe(&stats, c)).collect();
+        assert_eq!(got[3].processed, 12_000, "{label} join sees both branches");
+        match &baseline {
+            None => baseline = Some(got),
+            Some(want) => assert_eq!(&got, want, "{label} diverged from oracle"),
+        }
+    }
+}
+
+/// Backpressure regime: capacity-1 mailboxes through a chain. The pool must
+/// park/unpark its way through while preserving the exact same counts.
+#[test]
+fn tiny_capacity_chain_identical_across_executors() {
+    struct Inc;
+    impl Bolt for Inc {
+        fn execute(&mut self, mut t: Tuple, out: &mut Emitter<'_>) {
+            t.value += 1;
+            out.emit(t);
+        }
+    }
+    let build = || {
+        let mut topo = Topology::new();
+        let s = topo.add_spout("src", 1, |_| {
+            spout_from_iter((0..800u64).map(|i| Tuple::new(format!("k{i}").into_bytes(), 0)))
+        });
+        let mut prev = topo.add_bolt("s1", 1, |_| Box::new(Inc)).input(s, Grouping::Global).id();
+        for name in ["s2", "s3"] {
+            prev = topo.add_bolt(name, 1, |_| Box::new(Inc)).input(prev, Grouping::Global).id();
+        }
+        let _sink = topo
+            .add_bolt("sink", 2, |_| Box::new(CountingBolt::default()))
+            .input(prev, Grouping::Shuffle);
+        topo
+    };
+    let mut baseline: Option<Observed> = None;
+    for (label, mode) in MODES {
+        let stats = Runtime::with_options(opts(mode, 3, 1)).run(build());
+        assert_eq!(stats.processed("sink"), 800, "{label} drains the chain");
+        let got = observe(&stats, "sink");
+        match &baseline {
+            None => baseline = Some(got),
+            Some(want) => assert_eq!(&got, want, "{label} diverged from oracle"),
+        }
+    }
+}

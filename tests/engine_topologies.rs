@@ -73,7 +73,12 @@ fn deep_chain_with_tiny_queues() {
         .add_bolt("sink", 1, |_| Box::new(CountingBolt::default()))
         .input(prev, Grouping::Global)
         .id();
-    let stats = Runtime::with_options(RuntimeOptions { channel_capacity: 1, seed: 3 }).run(topo);
+    let stats = Runtime::with_options(RuntimeOptions {
+        channel_capacity: 1,
+        seed: 3,
+        ..RuntimeOptions::default()
+    })
+    .run(topo);
     assert_eq!(stats.processed("sink"), 300);
     // Values were incremented once per stage.
     assert_eq!(stats.emitted("s4"), 300);

@@ -6,7 +6,7 @@
 
 pub mod channel {
     use std::sync::mpsc;
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
     use std::time::Duration;
 
     /// Sending half of a channel. Cloneable; unified over the std bounded /
@@ -32,6 +32,19 @@ pub mod channel {
             match self {
                 Self::Bounded(s) => s.send(value),
                 Self::Unbounded(s) => s.send(value),
+            }
+        }
+
+        /// Non-blocking send: `Err(TrySendError::Full)` instead of blocking
+        /// when a bounded channel is at capacity (unbounded channels are
+        /// never full). The cooperative executor's spill-instead-of-block
+        /// emission discipline is built on this shape of primitive.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Self::Bounded(s) => s.try_send(value),
+                Self::Unbounded(s) => {
+                    s.send(value).map_err(|SendError(v)| TrySendError::Disconnected(v))
+                }
             }
         }
     }
@@ -81,6 +94,87 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
         (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+}
+
+pub mod sync {
+    //! Thread parking, mirroring `crossbeam::sync::{Parker, Unparker}`:
+    //! a token-based park/unpark pair without the lost-wakeup hazard of
+    //! bare condvars — an `unpark` delivered before the `park` makes the
+    //! `park` return immediately instead of sleeping forever.
+
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct Inner {
+        token: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    /// The parking side: owned by one thread, which calls [`Parker::park`].
+    pub struct Parker {
+        inner: Arc<Inner>,
+    }
+
+    /// The waking side: cloneable, shareable across threads.
+    #[derive(Clone)]
+    pub struct Unparker {
+        inner: Arc<Inner>,
+    }
+
+    impl Default for Parker {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Parker {
+        /// A parker with no token pending.
+        pub fn new() -> Self {
+            Self { inner: Arc::new(Inner { token: Mutex::new(false), cv: Condvar::new() }) }
+        }
+
+        /// The waking handle for this parker.
+        pub fn unparker(&self) -> Unparker {
+            Unparker { inner: Arc::clone(&self.inner) }
+        }
+
+        /// Block until unparked; consumes the token (a pending unpark makes
+        /// this return immediately).
+        pub fn park(&self) {
+            let mut token = self.inner.token.lock().expect("parker lock");
+            while !*token {
+                token = self.inner.cv.wait(token).expect("parker lock");
+            }
+            *token = false;
+        }
+
+        /// Like [`Parker::park`] with a timeout; returns whether it was
+        /// unparked (vs. timed out).
+        pub fn park_timeout(&self, timeout: Duration) -> bool {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut token = self.inner.token.lock().expect("parker lock");
+            while !*token {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    return false;
+                }
+                let (guard, _) = self.inner.cv.wait_timeout(token, left).expect("parker lock");
+                token = guard;
+            }
+            *token = false;
+            true
+        }
+    }
+
+    impl Unparker {
+        /// Wake the parked thread (or pre-arm the token if it is not parked
+        /// yet).
+        pub fn unpark(&self) {
+            let mut token = self.inner.token.lock().expect("parker lock");
+            *token = true;
+            self.inner.cv.notify_one();
+        }
     }
 }
 
@@ -139,6 +233,45 @@ mod tests {
         ));
         tx.send(9).unwrap();
         assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(9));
+    }
+
+    #[test]
+    fn try_send_reports_full_then_succeeds_after_drain() {
+        let (tx, rx) = super::channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(super::channel::TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn unbounded_try_send_never_full() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        for i in 0..1_000 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.iter().take(1_000).count(), 1_000);
+    }
+
+    #[test]
+    fn unpark_before_park_returns_immediately() {
+        let p = super::sync::Parker::new();
+        p.unparker().unpark();
+        p.park(); // must not hang: the token was pre-armed
+        assert!(!p.park_timeout(std::time::Duration::from_millis(5)), "token consumed");
+    }
+
+    #[test]
+    fn unpark_wakes_parked_thread() {
+        let p = super::sync::Parker::new();
+        let u = p.unparker();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            u.unpark();
+        });
+        p.park();
+        h.join().unwrap();
     }
 
     #[test]
