@@ -26,7 +26,7 @@
 //! `Arc<Mutex<…>>` handle the caller keeps.
 
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pkg_engine::bolt::{Bolt, Emitter};
 use pkg_engine::tuple::Tuple;
@@ -53,17 +53,23 @@ pub enum AggScope {
 
 /// Emulation of per-tuple CPU cost (the paper's 0.1–1 ms delay knob, Q4).
 ///
-/// Sleeping serializes service time as if each instance owned a dedicated
-/// core; the owed time is batched above OS timer granularity so the
-/// long-run service *rate* is exact.
+/// The owed time is batched above OS timer granularity and then handed to
+/// [`Emitter::stall`], so the long-run service *rate* is exact while the
+/// realization is executor-appropriate: the thread-per-instance executor
+/// sleeps the instance's dedicated OS thread (the paper's
+/// one-core-per-PEI model), and the pool executor ends the activation and
+/// re-arms the task on the central timer wheel — emulated service time
+/// never occupies a pool worker, so hundred-instance delay topologies
+/// progress concurrently on a handful of threads.
 #[derive(Debug)]
 pub struct ServiceDelay {
     delay: Duration,
     owed: Duration,
 }
 
-/// Sleep once the owed service time reaches this much (well above Linux
-/// timer slack, so the realized sleep tracks the request closely).
+/// Stall once the owed service time reaches this much (well above Linux
+/// timer slack and the pool's ~1 ms timer granule, so the realized delay
+/// tracks the request closely).
 const OWED_SLEEP_THRESHOLD: Duration = Duration::from_millis(4);
 
 impl ServiceDelay {
@@ -72,16 +78,15 @@ impl ServiceDelay {
         Self { delay, owed: Duration::ZERO }
     }
 
-    /// Charge one tuple's worth of service time.
-    pub fn charge(&mut self) {
+    /// Charge one tuple's worth of service time against `out`'s executor.
+    pub fn charge(&mut self, out: &mut Emitter<'_>) {
         if self.delay.is_zero() {
             return;
         }
         self.owed += self.delay;
         if self.owed >= OWED_SLEEP_THRESHOLD {
-            let start = Instant::now();
-            std::thread::sleep(self.owed);
-            self.owed = self.owed.saturating_sub(start.elapsed());
+            out.stall(self.owed);
+            self.owed = Duration::ZERO;
         }
     }
 }
@@ -140,8 +145,8 @@ impl<A: PartialAgg> WindowedWorkerBolt<A> {
 }
 
 impl<A: PartialAgg> Bolt for WindowedWorkerBolt<A> {
-    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
-        self.delay.charge();
+    fn execute(&mut self, tuple: Tuple, out: &mut Emitter<'_>) {
+        self.delay.charge(out);
         let key_id = tuple.key_id();
         let (key, value) = match self.scope {
             AggScope::PerKey => (tuple.key, tuple.value),

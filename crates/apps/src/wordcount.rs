@@ -15,9 +15,11 @@
 //!
 //! The per-tuple `service_delay` emulates the paper's CPU-delay knob (they
 //! add 0.1–1 ms of processing per key to reach the cluster's saturation
-//! point). The delay is enforced by sleeping, which models one dedicated
-//! core per PEI (the paper's 10-VM cluster) rather than contending for this
-//! machine's cores.
+//! point). Under the thread-per-instance executor it sleeps the instance's
+//! dedicated thread, modeling one core per PEI (the paper's 10-VM cluster)
+//! rather than contending for this machine's cores; under the pool executor
+//! it reschedules the instance via the timer wheel so emulated service time
+//! never occupies a pool worker (see `pkg_agg::ServiceDelay`).
 
 use std::time::Duration;
 
@@ -193,8 +195,8 @@ impl RunningTopKBolt {
 }
 
 impl Bolt for RunningTopKBolt {
-    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
-        self.delay.charge();
+    fn execute(&mut self, tuple: Tuple, out: &mut Emitter<'_>) {
+        self.delay.charge(out);
         *self.counts.entry(tuple.key).or_insert(0) += tuple.value;
     }
 

@@ -8,6 +8,13 @@
 //! under every worker): merge messages, per-worker window memory,
 //! aggregator state, and per-window staleness, over a nested grid of `T`.
 //!
+//! A second sweep measures the same trade-off for the adaptive D-Choices /
+//! W-Choices schemes on a skewed Zipf stream at `W = 50` — the cost side of
+//! "When Two Choices Are not Enough": more candidates per head key means
+//! more partials per key-window, so merge overhead must order
+//! `PKG ≤ D-Choices ≤ W-Choices ≤ SG` at every period (and strictly grow
+//! from PKG to D to W in total).
+//!
 //! It then validates the live two-phase engine pipelines that `pkg-agg`
 //! replaced the hand-rolled flush logic with:
 //!
@@ -100,6 +107,102 @@ fn sim_sweep(out: &mut String, tsv: &mut String) -> bool {
     ok
 }
 
+/// The adaptive-choice overhead sweep: merge messages per scheme over the
+/// nested period grid, on a Zipf z=2.0 stream at `W = 50` where head keys
+/// exist (the LN2 profile of the primary sweep has no key past
+/// `θ = 2(1+ε)/10` at `W = 10`, so D/W-Choices degenerate to PKG there).
+fn choice_sweep(out: &mut String, tsv: &mut String) -> bool {
+    let workers = 50;
+    let spec = scaled(DatasetProfile::zipf_exponent(10_000, 2.0, 2_000_000)).build(seed());
+    let duration = spec.duration_ms();
+    let base = (duration / 512).max(1);
+    let periods: Vec<u64> = [1u64, 4, 16, 64, 256].iter().map(|m| base * m).collect();
+    let schemes = [
+        ("PKG", SchemeSpec::pkg(EstimateKind::Local)),
+        ("DC", SchemeSpec::d_choices(EstimateKind::Local)),
+        ("WC", SchemeSpec::w_choices(EstimateKind::Local)),
+        ("SG", SchemeSpec::ShuffleGrouping),
+    ];
+
+    let mut table = TextTable::new();
+    table.row(["scheme", "T_ms", "merge_msgs", "merge_frac", "worker_window", "agg_keys"]);
+    let mut ok = true;
+    // merges[scheme][period index]
+    let mut merges: Vec<Vec<u64>> = Vec::new();
+    for (label, scheme) in &schemes {
+        let mut row = Vec::new();
+        let mut prev: Option<u64> = None;
+        for &period in &periods {
+            let cfg = SimConfig::new(workers, 5, scheme.clone())
+                .with_seed(seed())
+                .with_aggregation(period);
+            let r = run_sim(&spec, &cfg);
+            let a = r.aggregation.as_ref().expect("aggregation modeled");
+            table.row([
+                label.to_string(),
+                period.to_string(),
+                a.merge_messages.to_string(),
+                format!("{:.4}", a.merge_fraction),
+                format!("{:.1}", a.avg_worker_state),
+                format!("{:.1}", a.avg_aggregator_state),
+            ]);
+            tsv.push_str(&r.tsv_row());
+            tsv.push('\n');
+            if let Some(p) = prev {
+                if a.merge_messages > p {
+                    ok = false;
+                    let _ = writeln!(
+                        out,
+                        "VIOLATION: {label} merge messages rose {p} -> {} at T={period}",
+                        a.merge_messages
+                    );
+                }
+            }
+            prev = Some(a.merge_messages);
+            row.push(a.merge_messages);
+        }
+        merges.push(row);
+    }
+    out.push_str(&table.render());
+
+    // Candidate-count ordering at every period: PKG ≤ DC ≤ WC ≤ SG.
+    let mut ordered = true;
+    for (t, &period) in periods.iter().enumerate() {
+        let (pkg, dc, wc, sg) = (merges[0][t], merges[1][t], merges[2][t], merges[3][t]);
+        if !(pkg <= dc && dc <= wc && wc <= sg) {
+            ordered = false;
+            let _ = writeln!(
+                out,
+                "VIOLATION: merge ordering PKG {pkg} ≤ DC {dc} ≤ WC {wc} ≤ SG {sg} broken at \
+                 T={period}"
+            );
+        }
+    }
+    // And strictly more candidates ⇒ strictly more merges overall.
+    let sum = |i: usize| merges[i].iter().sum::<u64>();
+    if !(sum(0) < sum(1) && sum(1) < sum(2)) {
+        ordered = false;
+        let _ = writeln!(
+            out,
+            "VIOLATION: total merges not strictly increasing PKG {} / DC {} / WC {}",
+            sum(0),
+            sum(1),
+            sum(2)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "check: adaptive-choice merge overhead ordered PKG ≤ DC ≤ WC ≤ SG (strict totals) .. {}",
+        if ordered { "OK" } else { "FAIL" }
+    );
+    let _ = writeln!(
+        out,
+        "check: merge-message overhead decreases as T grows for D/W-Choices .. {}",
+        if ok { "OK" } else { "FAIL" }
+    );
+    ok && ordered
+}
+
 /// Word count on the live engine: the two-phase totals must equal the
 /// ground truth of the seeded stream byte-for-byte (what the pre-refactor
 /// single-phase counters produced).
@@ -179,6 +282,8 @@ fn main() {
     tsv.push('\n');
 
     let mut ok = sim_sweep(&mut out, &mut tsv);
+    out.push_str("\n# Adaptive-choice overhead (Zipf z=2.0, workers=50, sources=5)\n");
+    ok &= choice_sweep(&mut out, &mut tsv);
     ok &= wordcount_parity(&mut out, WordCountVariant::PartialKeyGrouping);
     ok &= wordcount_parity(&mut out, WordCountVariant::ShuffleGrouping);
     ok &= heavy_hitters_parity(&mut out);

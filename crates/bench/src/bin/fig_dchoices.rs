@@ -1,0 +1,240 @@
+//! **D-Choices / W-Choices sweep** — the journal follow-up's adaptive
+//! schemes against plain PKG, across the skew × scale grid where two
+//! choices provably stop working.
+//!
+//! §IV of the source paper: once `W > O(1/p1)` the hottest key's two
+//! candidates saturate and PKG's imbalance grows linearly in the stream.
+//! "When Two Choices Are not Enough" (Nasir et al., ICDE 2016) fixes this
+//! by widening only the *head* keys: D-Choices gives a head key of
+//! estimated frequency `p̂` the smallest `d` with `p̂/d ≤ (1+ε)/W`;
+//! W-Choices gives it all `W` workers. This driver sweeps Zipf exponent
+//! `z ∈ {1.4, 1.8, 2.0, 2.2}` × workers `W ∈ {50, 100, 500}` (10k keys,
+//! `S = 5` sources, local estimation) and records average/final imbalance
+//! fractions plus key replication for PKG, D-Choices and W-Choices.
+//!
+//! Exits non-zero unless every gate holds:
+//!
+//! 1. **Dominance** — D-Choices average imbalance ≤ PKG's at *every* grid
+//!    point (they are byte-identical when no key crosses the head
+//!    threshold, so equality is the worst case).
+//! 2. **Bounded imbalance where PKG blows up** — at `z = 2.0, W = 100`
+//!    (PKG's two candidates hold ≈ 30% of the stream) the D-Choices
+//!    average imbalance fraction stays ≤ `PKG_DCHOICES_EPS` (default
+//!    0.01), while PKG's exceeds it.
+//! 3. **Replication economy** — D-Choices average key replication is
+//!    strictly below W-Choices' at every point (the whole point of
+//!    adapting `d` instead of using all workers).
+//! 4. **PKG degeneration** — on a uniform stream D-Choices and W-Choices
+//!    route *byte-identically* to PKG, decision by decision.
+//!
+//! `--smoke` shrinks the grid to `z = 2.0 × W ∈ {50, 100}` with a shorter
+//! stream and keeps every gate — fast and deterministic, run in CI.
+
+use std::fmt::Write as _;
+
+use pkg_bench::{scaled, seed, threads, TextTable};
+use pkg_core::{EstimateKind, SchemeSpec, SharedLoads};
+use pkg_datagen::DatasetProfile;
+use pkg_sim::sweep::{run_parallel, Job};
+use pkg_sim::{SimConfig, SimReport};
+
+/// Messages per grid point before `PKG_SCALE` (smoke: fixed 60k).
+const MESSAGES: u64 = 200_000;
+/// Distinct keys of the synthetic Zipf streams.
+const KEYS: u64 = 10_000;
+/// Source PEIs (each with its own head tracker and load estimate).
+const SOURCES: usize = 5;
+
+fn eps_gate() -> f64 {
+    std::env::var("PKG_DCHOICES_EPS").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01)
+}
+
+struct Point {
+    z: f64,
+    w: usize,
+    pkg: SimReport,
+    dc: SimReport,
+    wc: SimReport,
+}
+
+fn rep_avg(r: &SimReport) -> f64 {
+    r.replication.as_ref().expect("replication tracked").avg
+}
+
+fn rep_max(r: &SimReport) -> u32 {
+    r.replication.as_ref().expect("replication tracked").max
+}
+
+fn sweep(zs: &[f64], ws: &[usize], messages: u64) -> Vec<Point> {
+    let schemes = [
+        SchemeSpec::pkg(EstimateKind::Local),
+        SchemeSpec::d_choices(EstimateKind::Local),
+        SchemeSpec::w_choices(EstimateKind::Local),
+    ];
+    let mut jobs = Vec::new();
+    for &z in zs {
+        let spec = scaled(DatasetProfile::zipf_exponent(KEYS, z, messages)).build(seed());
+        for &w in ws {
+            for scheme in &schemes {
+                jobs.push(Job {
+                    spec: spec.clone(),
+                    cfg: SimConfig::new(w, SOURCES, scheme.clone())
+                        .with_seed(seed())
+                        .with_replication(),
+                });
+            }
+        }
+    }
+    let reports = run_parallel(jobs, threads());
+    let mut points = Vec::new();
+    let mut it = reports.into_iter();
+    for &z in zs {
+        for &w in ws {
+            let (pkg, dc, wc) = (
+                it.next().expect("report per job"),
+                it.next().expect("report per job"),
+                it.next().expect("report per job"),
+            );
+            points.push(Point { z, w, pkg, dc, wc });
+        }
+    }
+    points
+}
+
+/// Gate 4: byte-identical PKG degeneration on a uniform stream.
+fn uniform_parity(out: &mut String) -> bool {
+    let n = 50;
+    let shared = SharedLoads::new(n);
+    let mut pkg = SchemeSpec::pkg(EstimateKind::Local).build(n, seed(), 0, &shared, None);
+    let mut dc = SchemeSpec::d_choices(EstimateKind::Local).build(n, seed(), 0, &shared, None);
+    let mut wc = SchemeSpec::w_choices(EstimateKind::Local).build(n, seed(), 0, &shared, None);
+    let mut ok = true;
+    for i in 0..200_000u64 {
+        // 5000 cycling keys: every frequency is 0.02% ≪ θ = 2(1+ε)/50.
+        let key = i % 5_000;
+        let expect = pkg.route(key, i);
+        if dc.route(key, i) != expect || wc.route(key, i) != expect {
+            ok = false;
+            let _ = writeln!(out, "VIOLATION: adaptive route diverged from PKG at t={i}");
+            break;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "check: D/W-Choices byte-identical to PKG on uniform keys .. {}",
+        if ok { "OK" } else { "FAIL" }
+    );
+    ok
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (zs, ws, messages): (Vec<f64>, Vec<usize>, u64) = if smoke {
+        (vec![2.0], vec![50, 100], 60_000)
+    } else {
+        (vec![1.4, 1.8, 2.0, 2.2], vec![50, 100, 500], MESSAGES)
+    };
+    let eps = eps_gate();
+
+    let mut out = String::from(
+        "# fig_dchoices: D-Choices/W-Choices vs PKG across Zipf skew z and workers W\n",
+    );
+    let _ = writeln!(
+        out,
+        "# keys={KEYS} sources={SOURCES} seed={} eps_gate={eps}{}",
+        seed(),
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let points = sweep(&zs, &ws, messages);
+
+    let mut table = TextTable::new();
+    table.row(["z", "W", "scheme", "avg_frac", "final_frac", "rep_avg", "rep_max"]);
+    let mut tsv = String::from(SimReport::tsv_header());
+    tsv.push('\n');
+    for p in &points {
+        for r in [&p.pkg, &p.dc, &p.wc] {
+            table.row([
+                format!("{:.1}", p.z),
+                p.w.to_string(),
+                r.scheme.clone(),
+                format!("{:.5}", r.avg_fraction),
+                format!("{:.5}", r.final_fraction),
+                format!("{:.3}", rep_avg(r)),
+                rep_max(r).to_string(),
+            ]);
+            tsv.push_str(&r.tsv_row());
+            tsv.push('\n');
+        }
+    }
+    out.push_str(&table.render());
+
+    let mut ok = true;
+
+    // Gate 1: dominance at every grid point.
+    let mut dominance = true;
+    for p in &points {
+        if p.dc.avg_imbalance > p.pkg.avg_imbalance + 1e-6 {
+            dominance = false;
+            let _ = writeln!(
+                out,
+                "VIOLATION: D-Choices imbalance {} > PKG {} at z={} W={}",
+                p.dc.avg_imbalance, p.pkg.avg_imbalance, p.z, p.w
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "check: D-Choices imbalance ≤ PKG at every grid point .. {}",
+        if dominance { "OK" } else { "FAIL" }
+    );
+    ok &= dominance;
+
+    // Gate 2: bounded imbalance at the point where PKG provably blows up.
+    let blowup = points
+        .iter()
+        .find(|p| (p.z - 2.0).abs() < 1e-9 && p.w == 100)
+        .expect("grid contains z=2.0, W=100");
+    let bounded = blowup.dc.avg_fraction <= eps && blowup.pkg.avg_fraction > eps;
+    let _ = writeln!(
+        out,
+        "check: at z=2.0 W=100, D-Choices fraction {:.5} ≤ {eps} < PKG fraction {:.5} .. {}",
+        blowup.dc.avg_fraction,
+        blowup.pkg.avg_fraction,
+        if bounded { "OK" } else { "FAIL" }
+    );
+    ok &= bounded;
+
+    // Gate 3: replication economy at every grid point.
+    let mut economy = true;
+    for p in &points {
+        if rep_avg(&p.dc) >= rep_avg(&p.wc) {
+            economy = false;
+            let _ = writeln!(
+                out,
+                "VIOLATION: D-Choices replication {} ≥ W-Choices {} at z={} W={}",
+                rep_avg(&p.dc),
+                rep_avg(&p.wc),
+                p.z,
+                p.w
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "check: D-Choices avg replication < W-Choices at every grid point .. {}",
+        if economy { "OK" } else { "FAIL" }
+    );
+    ok &= economy;
+
+    // Gate 4: PKG degeneration on uniform input.
+    ok &= uniform_parity(&mut out);
+
+    out.push('\n');
+    out.push_str(&tsv);
+    pkg_bench::emit("fig_dchoices.tsv", &out);
+    if !ok {
+        eprintln!("fig_dchoices: checks FAILED");
+        std::process::exit(1);
+    }
+}

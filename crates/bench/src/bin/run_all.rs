@@ -7,7 +7,7 @@
 
 use std::process::Command;
 
-const DRIVERS: [&str; 13] = [
+const DRIVERS: [&str; 14] = [
     "table1",
     "table2",
     "fig2",
@@ -16,6 +16,7 @@ const DRIVERS: [&str; 13] = [
     "fig5a",
     "fig5b",
     "fig5_overhead",
+    "fig_dchoices",
     "theory_bounds",
     "ablation_d",
     "ablation_hot",

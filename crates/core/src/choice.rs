@@ -1,0 +1,386 @@
+//! Adaptive candidate counts: the D-Choices and W-Choices schemes of the
+//! journal follow-up ("When Two Choices Are not Enough: Balancing at Scale
+//! in Distributed Stream Processing", Nasir et al., ICDE 2016).
+//!
+//! §IV of the source paper proves the two-choice limit: once the worker
+//! count `W` exceeds `O(1/p1)`, the hottest key's two candidates saturate
+//! and imbalance grows linearly in the stream length *no matter what*
+//! two-choice scheme is used. The follow-up's answer is to give only the
+//! few **head** keys more candidates:
+//!
+//! * A key is *head* when its estimated frequency `p̂` (from the per-source
+//!   [`HeadTracker`]) reaches the threshold `θ = 2(1+ε)/W` — the largest
+//!   frequency two workers can absorb while keeping each within `(1+ε)/W`
+//!   of the stream, `ε` being the relative imbalance target.
+//! * **Tail** keys route exactly like plain PKG: greedy-2 over the key's
+//!   two hash candidates. When no key ever crosses `θ`, the scheme *is*
+//!   PKG, byte for byte.
+//! * **D-Choices** gives a head key of frequency `p̂` the smallest `d`
+//!   satisfying the per-worker bound `p̂/d ≤ (1+ε)/W`, i.e.
+//!   `d(p̂) = ⌈p̂·W/(1+ε)⌉` (clamped to `[2, W]`) — monotone non-decreasing
+//!   in `p̂` and exactly 2 at `θ`, so classification is continuous.
+//! * **W-Choices** gives head keys all `W` workers (`d = W`).
+//!
+//! Candidates are drawn from the key's *hash sequence*
+//! `H_i(k) = murmur3(k, member_seed(seed, i)) mod W`: the same derivation
+//! (and therefore the same first two members) as PKG's [`HashFamily`], so
+//! candidate sets are prefix-nested — raising `d` only ever *adds* workers —
+//! and reproducible across sources and executors from the experiment seed
+//! alone.
+//!
+//! [`HashFamily`]: pkg_hash::HashFamily
+
+use pkg_hash::{member_seed, StreamKey};
+
+use crate::estimator::Estimate;
+use crate::head_tracker::HeadTracker;
+use crate::partitioner::Partitioner;
+
+/// Default relative imbalance target `ε` (per-worker load within
+/// `(1+ε)/W` of the stream). The sweeps of `fig_dchoices` gate the achieved
+/// imbalance fraction well below this.
+pub const DEFAULT_EPSILON: f64 = 0.1;
+
+/// Which adaptive scheme a partitioner runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoiceStrategy {
+    /// Head keys get `d(p̂) = ⌈p̂·W/(1+ε)⌉` candidates.
+    DChoices,
+    /// Head keys get all `W` workers.
+    WChoices,
+}
+
+/// The candidate-count rule shared by both schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChoiceConfig {
+    /// Relative imbalance target `ε ≥ 0`.
+    pub epsilon: f64,
+}
+
+impl ChoiceConfig {
+    /// A config with imbalance target `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be finite and ≥ 0");
+        Self { epsilon }
+    }
+
+    /// Head threshold `θ = 2(1+ε)/n`: the largest key frequency two workers
+    /// can absorb within the target.
+    pub fn theta(&self, n: usize) -> f64 {
+        2.0 * (1.0 + self.epsilon) / n as f64
+    }
+
+    /// D-Choices candidate count for an estimated frequency `p`: the
+    /// smallest `d` with `p/d ≤ (1+ε)/n`, clamped to `[2, n]`. Monotone
+    /// non-decreasing in `p` and exactly 2 at `p = θ` (the relative
+    /// tolerance below absorbs the float rounding of `θ·n/(1+ε)`, which
+    /// otherwise lands a hair above 2 for some `(n, ε)` and would make
+    /// head classification discontinuous at the threshold).
+    pub fn d_for(&self, p: f64, n: usize) -> usize {
+        let exact = p * n as f64 / (1.0 + self.epsilon);
+        let d = (exact * (1.0 - 1e-12)).ceil() as usize;
+        d.max(2).min(n.max(1))
+    }
+}
+
+impl Default for ChoiceConfig {
+    fn default() -> Self {
+        Self::new(DEFAULT_EPSILON)
+    }
+}
+
+/// The adaptive partitioner: PKG for the tail, more choices for the head.
+#[derive(Debug, Clone)]
+pub struct AdaptiveChoices {
+    n: usize,
+    strategy: ChoiceStrategy,
+    config: ChoiceConfig,
+    /// Cached `config.theta(n)`.
+    theta: f64,
+    estimate: Estimate,
+    tracker: HeadTracker,
+    /// Member seeds of the key hash sequence, `seeds[0..2]` identical to
+    /// PKG's two-choice family under the same experiment seed.
+    seeds: Vec<u64>,
+}
+
+impl AdaptiveChoices {
+    /// An adaptive partitioner over `n` workers.
+    pub fn new(
+        n: usize,
+        strategy: ChoiceStrategy,
+        config: ChoiceConfig,
+        estimate: Estimate,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "need at least one worker");
+        assert_eq!(estimate.n(), n, "estimate must cover all workers");
+        let theta = config.theta(n);
+        Self {
+            n,
+            strategy,
+            config,
+            theta,
+            estimate,
+            tracker: HeadTracker::for_threshold(theta.min(1.0)),
+            seeds: (0..n as u64).map(|i| member_seed(seed, i)).collect(),
+        }
+    }
+
+    /// D-Choices with the given imbalance target.
+    pub fn d_choices(n: usize, estimate: Estimate, epsilon: f64, seed: u64) -> Self {
+        Self::new(n, ChoiceStrategy::DChoices, ChoiceConfig::new(epsilon), estimate, seed)
+    }
+
+    /// W-Choices with the given imbalance target.
+    pub fn w_choices(n: usize, estimate: Estimate, epsilon: f64, seed: u64) -> Self {
+        Self::new(n, ChoiceStrategy::WChoices, ChoiceConfig::new(epsilon), estimate, seed)
+    }
+
+    /// The head threshold `θ` in effect.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The candidate-count rule in effect.
+    pub fn config(&self) -> &ChoiceConfig {
+        &self.config
+    }
+
+    /// Read access to the head tracker (tests/diagnostics).
+    pub fn tracker(&self) -> &HeadTracker {
+        &self.tracker
+    }
+
+    /// Member `i` of `key`'s hash sequence, reduced to `[0, n)`.
+    #[inline]
+    fn choice(&self, i: usize, key: u64) -> usize {
+        (key.hash_seeded(self.seeds[i]) % self.n as u64) as usize
+    }
+
+    /// How the *next* message of `key` will route: `None` for a tail key
+    /// (the plain two-choice path), `Some(d)` for a head key (`d = n`
+    /// meaning all workers).
+    fn next_head_d(&self, key: u64) -> Option<usize> {
+        if !self.tracker.next_is_head(key, self.theta) {
+            return None;
+        }
+        Some(match self.strategy {
+            ChoiceStrategy::WChoices => self.n,
+            ChoiceStrategy::DChoices => self.config.d_for(self.tracker.next_frequency(key), self.n),
+        })
+    }
+
+    /// Least-loaded worker among the first `d` members of `key`'s hash
+    /// sequence; ties break toward the earlier member (deterministic, same
+    /// rule as PKG).
+    #[inline]
+    fn argmin_sequence(&mut self, key: u64, d: usize, ts_ms: u64) -> usize {
+        let mut best = self.choice(0, key);
+        let mut best_load = self.estimate.load(best, ts_ms);
+        for i in 1..d {
+            let c = self.choice(i, key);
+            let l = self.estimate.load(c, ts_ms);
+            if l < best_load {
+                best = c;
+                best_load = l;
+            }
+        }
+        best
+    }
+
+    /// Globally least-loaded worker (W-Choices head path); ties break
+    /// toward the lower index.
+    #[inline]
+    fn argmin_all(&mut self, ts_ms: u64) -> usize {
+        let mut best = 0;
+        let mut best_load = self.estimate.load(0, ts_ms);
+        for c in 1..self.n {
+            let l = self.estimate.load(c, ts_ms);
+            if l < best_load {
+                best = c;
+                best_load = l;
+            }
+        }
+        best
+    }
+}
+
+impl Partitioner for AdaptiveChoices {
+    fn route(&mut self, key: u64, ts_ms: u64) -> usize {
+        let head_d = self.next_head_d(key);
+        self.tracker.observe(key);
+        let w = match head_d {
+            // Tail: exactly PKG's greedy-2 over the first two sequence
+            // members (ties toward the earlier member), so on streams with
+            // no head keys the scheme is byte-identical to PKG.
+            None => self.argmin_sequence(key, 2.min(self.n), ts_ms),
+            Some(d) if d >= self.n => self.argmin_all(ts_ms),
+            Some(d) => self.argmin_sequence(key, d, ts_ms),
+        };
+        self.estimate.record(w);
+        w
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        match self.strategy {
+            ChoiceStrategy::DChoices => format!("D-Choices(ε={})", self.config.epsilon),
+            ChoiceStrategy::WChoices => format!("W-Choices(ε={})", self.config.epsilon),
+        }
+    }
+
+    /// The workers the key's *next* message may go to: the first `d`
+    /// members of its hash sequence (all workers for a W-Choices head).
+    /// Computed with the same prediction the router uses, so
+    /// `candidates(k)` immediately followed by `route(k, _)` always
+    /// contains the routed worker.
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        match self.next_head_d(key) {
+            None => (0..2.min(self.n)).map(|i| self.choice(i, key)).collect(),
+            Some(d) if d >= self.n => (0..self.n).collect(),
+            Some(d) => (0..d).map(|i| self.choice(i, key)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pkg::PartialKeyGrouping;
+    use pkg_metrics::imbalance;
+
+    fn skewed_loads(p: &mut dyn Partitioner, n: usize, m: u64, hot_share: f64) -> Vec<u64> {
+        let mut loads = vec![0u64; n];
+        let hot_every = (1.0 / hot_share) as u64;
+        for i in 0..m {
+            let key = if i % hot_every == 0 { 0 } else { i + 1 };
+            loads[p.route(key, i)] += 1;
+        }
+        loads
+    }
+
+    #[test]
+    fn d_for_is_monotone_and_two_at_theta() {
+        let cfg = ChoiceConfig::new(0.1);
+        let n = 100;
+        assert_eq!(cfg.d_for(cfg.theta(n), n), 2);
+        let mut prev = 0;
+        for i in 0..=100 {
+            let d = cfg.d_for(i as f64 / 100.0, n);
+            assert!(d >= prev, "d_for not monotone at p={}", i as f64 / 100.0);
+            assert!((2..=n).contains(&d));
+            prev = d;
+        }
+        assert_eq!(cfg.d_for(1.0, n), n.min((100.0f64 / 1.1).ceil() as usize));
+    }
+
+    #[test]
+    fn tail_routing_is_byte_identical_to_pkg() {
+        let n = 16;
+        let seed = 9;
+        let mut dc = AdaptiveChoices::d_choices(n, Estimate::local(n), 0.1, seed);
+        let mut wc = AdaptiveChoices::w_choices(n, Estimate::local(n), 0.1, seed);
+        let mut pkg = PartialKeyGrouping::new(n, 2, Estimate::local(n), seed);
+        // Cycling uniform keys: none can reach θ = 2.2/16, so all three
+        // partitioners make the same decision on every single message.
+        for t in 0..20_000u64 {
+            let key = t % (4 * n as u64);
+            let expect = pkg.route(key, t);
+            assert_eq!(dc.route(key, t), expect, "D-Choices diverged at t={t}");
+            assert_eq!(wc.route(key, t), expect, "W-Choices diverged at t={t}");
+        }
+    }
+
+    #[test]
+    fn head_key_spreads_past_two_candidates() {
+        let n = 50;
+        let mut dc = AdaptiveChoices::d_choices(n, Estimate::local(n), 0.1, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..100_000u64 {
+            let key = if i % 5 == 0 { 7 } else { i + 1_000 };
+            let w = dc.route(key, i);
+            if key == 7 {
+                seen.insert(w);
+            }
+        }
+        // p̂ ≈ 0.2 → d ≈ ⌈0.2·50/1.1⌉ = 10 candidates (minus collisions).
+        assert!(seen.len() > 2, "head key stuck on {} workers", seen.len());
+        assert!(seen.len() <= 10, "head key on {} workers, d bound is 10", seen.len());
+    }
+
+    #[test]
+    fn beats_plain_pkg_past_the_two_choice_limit() {
+        let n = 50;
+        let m = 200_000;
+        let mut pkg = PartialKeyGrouping::new(n, 2, Estimate::local(n), 7);
+        let mut dc = AdaptiveChoices::d_choices(n, Estimate::local(n), 0.1, 7);
+        let mut wc = AdaptiveChoices::w_choices(n, Estimate::local(n), 0.1, 7);
+        let i_pkg = imbalance(&skewed_loads(&mut pkg, n, m, 0.2));
+        let i_dc = imbalance(&skewed_loads(&mut dc, n, m, 0.2));
+        let i_wc = imbalance(&skewed_loads(&mut wc, n, m, 0.2));
+        assert!(i_dc < i_pkg / 4.0, "D-Choices {i_dc} not ≪ PKG {i_pkg}");
+        assert!(i_wc < i_pkg / 4.0, "W-Choices {i_wc} not ≪ PKG {i_pkg}");
+    }
+
+    #[test]
+    fn d_choices_replication_below_w_choices() {
+        let n = 40;
+        let m = 100_000;
+        let run = |mut p: AdaptiveChoices| {
+            let mut workers_of_hot = std::collections::BTreeSet::new();
+            for i in 0..m {
+                let key = if i % 3 == 0 { 0 } else { i + 1 };
+                let w = p.route(key, i);
+                if key == 0 {
+                    workers_of_hot.insert(w);
+                }
+            }
+            workers_of_hot.len()
+        };
+        let dc = run(AdaptiveChoices::d_choices(n, Estimate::local(n), 0.1, 5));
+        let wc = run(AdaptiveChoices::w_choices(n, Estimate::local(n), 0.1, 5));
+        assert!(dc < wc, "D-Choices hot-key spread {dc} not below W-Choices {wc}");
+        assert_eq!(wc, n, "a 33% key under W-Choices reaches every worker");
+    }
+
+    #[test]
+    fn candidates_predict_routing() {
+        let n = 30;
+        let mut p = AdaptiveChoices::d_choices(n, Estimate::local(n), 0.1, 11);
+        for i in 0..50_000u64 {
+            let key = if i % 4 == 0 { 1 } else { i };
+            let cands = p.candidates(key);
+            let w = p.route(key, i);
+            assert!(cands.contains(&w), "route {w} escaped candidates {cands:?} at t={i}");
+        }
+    }
+
+    #[test]
+    fn candidate_prefixes_are_nested() {
+        let p = AdaptiveChoices::d_choices(20, Estimate::local(20), 0.1, 2);
+        for key in 0..50u64 {
+            let full: Vec<usize> = (0..20).map(|i| p.choice(i, key)).collect();
+            for d in 2..20 {
+                assert_eq!(&full[..d], &(0..d).map(|i| p.choice(i, key)).collect::<Vec<_>>()[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates() {
+        let mut p = AdaptiveChoices::w_choices(1, Estimate::local(1), 0.1, 0);
+        for i in 0..100u64 {
+            assert_eq!(p.route(i % 3, i), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate must cover")]
+    fn mismatched_estimate_panics() {
+        let _ = AdaptiveChoices::d_choices(4, Estimate::local(3), 0.1, 0);
+    }
+}

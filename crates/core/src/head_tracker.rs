@@ -1,0 +1,263 @@
+//! Streaming head-key detection: a Space-Saving-style top-key frequency
+//! estimator.
+//!
+//! The D-Choices/W-Choices schemes of the journal follow-up ("When Two
+//! Choices Are not Enough", Nasir et al., ICDE 2016) must distinguish the
+//! few *head* keys — too frequent for two workers to absorb — from the long
+//! tail, online, per source, in constant memory. This module implements the
+//! estimator they assume: a [Space-Saving] summary of `capacity` counters
+//! over 64-bit key identifiers.
+//!
+//! It is deliberately independent of `pkg-agg`'s `SpaceSaving` sketch (which
+//! carries per-counter error bounds, merge support and a codec for the
+//! aggregation phase): `pkg-core` stays dependency-free, and routing needs
+//! only the overestimated count, whose guarantee is what makes head
+//! classification *provably* conservative:
+//!
+//! * `count(k) ≥ occ(k)` — a genuinely hot key is never missed;
+//! * `count(k) ≤ occ(k) + total/capacity` — a key is overestimated by at
+//!   most the summary's minimum, so with `capacity ≥ 8/θ` and the warm-up
+//!   rule below, a key whose true frequency stays under `3θ/4` can never be
+//!   classified head. That determinism is what lets D-Choices degenerate to
+//!   *byte-identical* PKG routing on uniform streams (pinned by
+//!   `tests/property_tests.rs`).
+//!
+//! **Warm-up:** nothing is head until `total · θ ≥ WARMUP_MASS`. With a
+//! tiny sample every first occurrence would trivially clear any relative
+//! threshold, and misclassifying cold keys as hot costs replication.
+//!
+//! [Space-Saving]: Metwally, Agrawal, El Abbadi — "Efficient computation of
+//! frequent and top-k elements in data streams", ICDT 2005.
+
+use std::collections::BTreeMap;
+
+use pkg_hash::{FxHashMap, FxHashSet};
+
+/// Observations of estimated-frequency mass a key must be able to amass
+/// before head classification switches on (`total ≥ WARMUP_MASS / θ`).
+const WARMUP_MASS: f64 = 8.0;
+
+/// A Space-Saving summary estimating the stream's top key frequencies.
+#[derive(Debug, Clone)]
+pub struct HeadTracker {
+    /// Authoritative counts (the Space-Saving overestimates).
+    counts: FxHashMap<u64, u64>,
+    /// Inverted index `count → keys at that count`; `first_key_value` is the
+    /// summary minimum, giving O(log capacity) eviction.
+    buckets: BTreeMap<u64, FxHashSet<u64>>,
+    capacity: usize,
+    total: u64,
+}
+
+impl HeadTracker {
+    /// A tracker with the given counter budget (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "tracker needs at least one counter");
+        Self { counts: FxHashMap::default(), buckets: BTreeMap::new(), capacity, total: 0 }
+    }
+
+    /// A tracker sized for head threshold `θ`: `capacity = ⌈8/θ⌉` counters
+    /// (at least 64), so overestimation stays below `θ/8` of the stream.
+    pub fn for_threshold(theta: f64) -> Self {
+        assert!(theta > 0.0 && theta <= 1.0, "threshold must be in (0,1]");
+        Self::new(64.max((WARMUP_MASS / theta).ceil() as usize))
+    }
+
+    /// Count one occurrence of `key`; returns its updated count estimate.
+    pub fn observe(&mut self, key: u64) -> u64 {
+        self.total += 1;
+        if let Some(c) = self.counts.get_mut(&key) {
+            let old = *c;
+            *c += 1;
+            let new = *c;
+            self.move_bucket(key, old, new);
+            return new;
+        }
+        let count = if self.counts.len() < self.capacity {
+            1
+        } else {
+            // Summary full: evict one minimum-count key and inherit its
+            // count plus one (the Space-Saving replacement rule).
+            let (&min, keys) = self.buckets.iter_mut().next().expect("full summary has buckets");
+            let victim = *keys.iter().next().expect("buckets are never empty");
+            keys.remove(&victim);
+            if keys.is_empty() {
+                self.buckets.remove(&min);
+            }
+            self.counts.remove(&victim);
+            min + 1
+        };
+        self.counts.insert(key, count);
+        self.buckets.entry(count).or_default().insert(key);
+        count
+    }
+
+    fn move_bucket(&mut self, key: u64, old: u64, new: u64) {
+        let bucket = self.buckets.get_mut(&old).expect("tracked key has a bucket");
+        bucket.remove(&key);
+        if bucket.is_empty() {
+            self.buckets.remove(&old);
+        }
+        self.buckets.entry(new).or_default().insert(key);
+    }
+
+    /// Estimated count of `key` (its Space-Saving overestimate; 0 if
+    /// untracked — the key's true count is then below the summary minimum
+    /// plus one, i.e. certifiably tail).
+    #[inline]
+    pub fn count(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Estimated frequency of `key` in the observed stream (0 before any
+    /// observation).
+    #[inline]
+    pub fn frequency(&self, key: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(key) as f64 / self.total as f64
+        }
+    }
+
+    /// Whether enough mass has been observed for threshold `theta` to be
+    /// meaningful (see module docs).
+    #[inline]
+    pub fn warmed_up(&self, theta: f64) -> bool {
+        self.total as f64 * theta >= WARMUP_MASS
+    }
+
+    /// Estimated frequency `key` would have *after one more occurrence* —
+    /// what [`observe`](Self::observe)-then-classify will see. Routing uses
+    /// this so a key's reported candidate set is always a superset of where
+    /// its next message can go.
+    #[inline]
+    pub fn next_frequency(&self, key: u64) -> f64 {
+        let next_count = if self.counts.contains_key(&key) {
+            self.count(key) + 1
+        } else if self.counts.len() < self.capacity {
+            1
+        } else {
+            self.buckets.keys().next().copied().unwrap_or(0) + 1
+        };
+        next_count as f64 / (self.total + 1) as f64
+    }
+
+    /// Whether the *next* occurrence of `key` will classify as head at
+    /// threshold `theta`.
+    #[inline]
+    pub fn next_is_head(&self, key: u64, theta: f64) -> bool {
+        (self.total + 1) as f64 * theta >= WARMUP_MASS && self.next_frequency(key) >= theta
+    }
+
+    /// Total observations so far.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of keys currently tracked (≤ capacity).
+    pub fn tracked(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exactly_below_capacity() {
+        let mut t = HeadTracker::new(16);
+        for i in 0..10u64 {
+            for _ in 0..=i {
+                t.observe(i);
+            }
+        }
+        for i in 0..10u64 {
+            assert_eq!(t.count(i), i + 1);
+        }
+        assert_eq!(t.total(), 55);
+        assert_eq!(t.tracked(), 10);
+    }
+
+    #[test]
+    fn overestimates_but_never_underestimates() {
+        // 4 counters, 20 distinct keys, one genuinely hot.
+        let mut t = HeadTracker::new(4);
+        let mut occ = std::collections::HashMap::new();
+        for i in 0..2_000u64 {
+            let key = if i % 3 == 0 { 0 } else { 1 + (i % 19) };
+            t.observe(key);
+            *occ.entry(key).or_insert(0u64) += 1;
+        }
+        assert!(t.tracked() <= 4);
+        // The Space-Saving guarantees on every tracked key.
+        let min = t.buckets.keys().next().copied().expect("non-empty");
+        assert!(min <= t.total() / 4, "min {} > total/capacity", min);
+        assert!(t.count(0) >= occ[&0], "hot key underestimated");
+        for (&k, &o) in &occ {
+            if t.count(k) > 0 {
+                assert!(t.count(k) <= o + min, "key {k} overestimated past occ+min");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_key_frequency_converges() {
+        let mut t = HeadTracker::for_threshold(0.05);
+        for i in 0..50_000u64 {
+            let key = if i % 5 == 0 { 42 } else { i };
+            t.observe(key);
+        }
+        let f = t.frequency(42);
+        assert!((f - 0.2).abs() < 0.02, "estimated hot frequency {f}");
+        assert!(t.warmed_up(0.05));
+    }
+
+    #[test]
+    fn uniform_keys_never_classify_head_after_warmup() {
+        // The determinism the PKG-degeneration property rests on: cycling
+        // uniform keys stay below θ at every single step.
+        let theta = 0.05;
+        let mut t = HeadTracker::for_threshold(theta);
+        for i in 0..100_000u64 {
+            let key = i % 500;
+            assert!(!t.next_is_head(key, theta), "uniform key {key} classified head at t={i}");
+            t.observe(key);
+        }
+    }
+
+    #[test]
+    fn next_frequency_predicts_observe() {
+        let mut t = HeadTracker::new(8);
+        for i in 0..5_000u64 {
+            let key = i % 21;
+            let predicted = t.next_frequency(key);
+            let c = t.observe(key);
+            let actual = c as f64 / t.total() as f64;
+            assert!((predicted - actual).abs() < 1e-12, "prediction drifted at {i}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected_under_all_distinct_keys() {
+        let mut t = HeadTracker::new(32);
+        for i in 0..10_000u64 {
+            t.observe(i);
+        }
+        assert_eq!(t.tracked(), 32);
+        assert_eq!(t.total(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn zero_capacity_panics() {
+        let _ = HeadTracker::new(0);
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`StaticPotc`] | PoTC without key splitting | §III-A, Table II |
 //! | [`OnlineGreedy`] | On-Greedy | §V (Q1) |
 //! | [`OfflineGreedy`] | Off-Greedy | §V (Q1) |
+//! | [`AdaptiveChoices`] | D-Choices / W-Choices (journal follow-up) | `choice` module docs |
 //!
 //! and the three load-estimation strategies of Q2 as [`estimator::Estimate`]:
 //! global oracle ("G"), per-source local estimation ("L", the paper's
@@ -38,8 +39,10 @@
 //! }
 //! ```
 
+pub mod choice;
 pub mod estimator;
 pub mod greedy;
+pub mod head_tracker;
 pub mod hot_aware;
 pub mod key_grouping;
 pub mod partitioner;
@@ -48,8 +51,10 @@ pub mod potc;
 pub mod replication;
 pub mod shuffle;
 
+pub use choice::{AdaptiveChoices, ChoiceConfig, ChoiceStrategy, DEFAULT_EPSILON};
 pub use estimator::{Estimate, EstimateKind, SharedLoads};
 pub use greedy::{KeyFrequencies, OfflineGreedy, OnlineGreedy};
+pub use head_tracker::HeadTracker;
 pub use hot_aware::HotAwarePkg;
 pub use key_grouping::KeyGrouping;
 pub use partitioner::{Partitioner, SchemeSpec};

@@ -2,6 +2,7 @@
 
 use pkg_hash::HashFamily;
 
+use crate::choice::{AdaptiveChoices, ChoiceConfig, ChoiceStrategy, DEFAULT_EPSILON};
 use crate::estimator::{EstimateKind, SharedLoads};
 use crate::greedy::{KeyFrequencies, OfflineGreedy, OnlineGreedy};
 use crate::key_grouping::KeyGrouping;
@@ -63,6 +64,23 @@ pub enum SchemeSpec {
     },
     /// Off-Greedy: offline LPT assignment from full key frequencies.
     OffGreedy,
+    /// D-Choices (journal follow-up): head keys — estimated frequency past
+    /// `θ = 2(1+ε)/W` — get `⌈p̂·W/(1+ε)⌉` candidates from their hash
+    /// sequence; tail keys route like plain PKG.
+    DChoices {
+        /// Load estimation strategy.
+        estimate: EstimateKind,
+        /// Relative imbalance target `ε`.
+        epsilon: f64,
+    },
+    /// W-Choices (journal follow-up): head keys may go to *all* workers;
+    /// tail keys route like plain PKG.
+    WChoices {
+        /// Load estimation strategy.
+        estimate: EstimateKind,
+        /// Relative imbalance target `ε`.
+        epsilon: f64,
+    },
 }
 
 impl SchemeSpec {
@@ -70,6 +88,16 @@ impl SchemeSpec {
     /// recommended configuration.
     pub fn pkg(estimate: EstimateKind) -> Self {
         SchemeSpec::Pkg { d: 2, estimate }
+    }
+
+    /// D-Choices with the default imbalance target.
+    pub fn d_choices(estimate: EstimateKind) -> Self {
+        SchemeSpec::DChoices { estimate, epsilon: DEFAULT_EPSILON }
+    }
+
+    /// W-Choices with the default imbalance target.
+    pub fn w_choices(estimate: EstimateKind) -> Self {
+        SchemeSpec::WChoices { estimate, epsilon: DEFAULT_EPSILON }
     }
 
     /// Whether this scheme needs the full key-frequency histogram
@@ -88,6 +116,8 @@ impl SchemeSpec {
             SchemeSpec::StaticPotc { .. } => "PoTC".into(),
             SchemeSpec::OnGreedy { .. } => "On-Greedy".into(),
             SchemeSpec::OffGreedy => "Off-Greedy".into(),
+            SchemeSpec::DChoices { estimate, .. } => format!("DC-{}", estimate.label()),
+            SchemeSpec::WChoices { estimate, .. } => format!("WC-{}", estimate.label()),
         }
     }
 
@@ -124,6 +154,20 @@ impl SchemeSpec {
                 let freqs = freqs.expect("Off-Greedy requires key frequencies");
                 Box::new(OfflineGreedy::new(n, freqs, seed))
             }
+            SchemeSpec::DChoices { estimate, epsilon } => Box::new(AdaptiveChoices::new(
+                n,
+                ChoiceStrategy::DChoices,
+                ChoiceConfig::new(*epsilon),
+                estimate.build(n, shared),
+                seed,
+            )),
+            SchemeSpec::WChoices { estimate, epsilon } => Box::new(AdaptiveChoices::new(
+                n,
+                ChoiceStrategy::WChoices,
+                ChoiceConfig::new(*epsilon),
+                estimate.build(n, shared),
+                seed,
+            )),
         }
     }
 }
@@ -144,6 +188,8 @@ mod tests {
         assert_eq!(SchemeSpec::pkg(EstimateKind::Local).label(), "PKG-L");
         assert_eq!(SchemeSpec::Pkg { d: 5, estimate: EstimateKind::Global }.label(), "PKG5-G");
         assert_eq!(SchemeSpec::OffGreedy.label(), "Off-Greedy");
+        assert_eq!(SchemeSpec::d_choices(EstimateKind::Local).label(), "DC-L");
+        assert_eq!(SchemeSpec::w_choices(EstimateKind::Global).label(), "WC-G");
     }
 
     #[test]
@@ -156,6 +202,8 @@ mod tests {
             SchemeSpec::pkg(EstimateKind::Global),
             SchemeSpec::StaticPotc { estimate: EstimateKind::Global },
             SchemeSpec::OnGreedy { estimate: EstimateKind::Global },
+            SchemeSpec::d_choices(EstimateKind::Local),
+            SchemeSpec::w_choices(EstimateKind::Local),
         ] {
             let mut p = spec.build(4, 7, 0, &shared, None);
             for k in 0..100u64 {

@@ -5,19 +5,57 @@
 //! factor higher"), and shuffle grouping up to `W·K` ("the memory usage of
 //! the application grows linearly with the parallelism level"). This tracker
 //! measures exactly that quantity — the number of distinct (key, worker)
-//! pairs — for any partitioner, using one bitmask per key (experiments use
-//! at most 128 workers).
+//! pairs — for any partitioner. Keys start on an inline 128-bit mask
+//! (covering the source paper's `W ≤ 100` grids with no allocation) and
+//! promote to a heap bitset the first time a wider worker index appears —
+//! the W-Choices sweeps of `fig_dchoices` go up to `W = 500`.
 
 use pkg_hash::FxHashMap;
+
+/// Which workers one key has reached.
+#[derive(Debug, Clone)]
+enum WorkerSet {
+    /// Inline bitmask for worker indices < 128 (the common case).
+    Small(u128),
+    /// Heap bitset for wider worker grids; grows on demand.
+    Large(Vec<u64>),
+}
+
+impl WorkerSet {
+    #[inline]
+    fn set(&mut self, w: usize) {
+        match self {
+            WorkerSet::Small(mask) if w < 128 => *mask |= 1u128 << w,
+            WorkerSet::Small(mask) => {
+                let mut words = vec![0u64; w / 64 + 1];
+                words[0] = *mask as u64;
+                words[1] = (*mask >> 64) as u64;
+                words[w / 64] |= 1u64 << (w % 64);
+                *self = WorkerSet::Large(words);
+            }
+            WorkerSet::Large(words) => {
+                if words.len() <= w / 64 {
+                    words.resize(w / 64 + 1, 0);
+                }
+                words[w / 64] |= 1u64 << (w % 64);
+            }
+        }
+    }
+
+    #[inline]
+    fn count(&self) -> u32 {
+        match self {
+            WorkerSet::Small(mask) => mask.count_ones(),
+            WorkerSet::Large(words) => words.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+}
 
 /// Tracks which workers have seen each key.
 #[derive(Debug, Clone, Default)]
 pub struct ReplicationTracker {
-    seen: FxHashMap<u64, u128>,
+    seen: FxHashMap<u64, WorkerSet>,
 }
-
-/// Maximum worker count supported by the bitmask representation.
-pub const MAX_TRACKED_WORKERS: usize = 128;
 
 impl ReplicationTracker {
     /// Empty tracker.
@@ -25,14 +63,10 @@ impl ReplicationTracker {
         Self::default()
     }
 
-    /// Record that `key` was routed to worker `w`.
-    ///
-    /// # Panics
-    /// Panics if `w ≥ 128`.
+    /// Record that `key` was routed to worker `w` (any worker count).
     #[inline]
     pub fn record(&mut self, key: u64, w: usize) {
-        assert!(w < MAX_TRACKED_WORKERS, "replication tracker supports < 128 workers");
-        *self.seen.entry(key).or_insert(0) |= 1u128 << w;
+        self.seen.entry(key).or_insert(WorkerSet::Small(0)).set(w);
     }
 
     /// Number of distinct keys observed.
@@ -43,7 +77,7 @@ impl ReplicationTracker {
     /// Total distinct (key, worker) pairs — the "counters" a stateful
     /// word-count-like operator would hold.
     pub fn total_pairs(&self) -> u64 {
-        self.seen.values().map(|m| u64::from(m.count_ones())).sum()
+        self.seen.values().map(|m| u64::from(m.count())).sum()
     }
 
     /// Mean number of workers per key (1.0 for KG, ≤ 2.0 for PKG, up to `W`
@@ -58,7 +92,7 @@ impl ReplicationTracker {
 
     /// Maximum number of workers any single key reached.
     pub fn max_replication(&self) -> u32 {
-        self.seen.values().map(|m| m.count_ones()).max().unwrap_or(0)
+        self.seen.values().map(WorkerSet::count).max().unwrap_or(0)
     }
 }
 
@@ -113,10 +147,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "supports < 128")]
-    fn worker_129_panics() {
+    fn wide_worker_grids_promote_and_count_exactly() {
+        // Crossing the 128-worker boundary promotes the inline mask to the
+        // heap bitset without losing any already-recorded worker.
         let mut t = ReplicationTracker::new();
-        t.record(0, 128);
+        for w in [0usize, 63, 64, 127] {
+            t.record(7, w);
+        }
+        assert_eq!(t.max_replication(), 4);
+        t.record(7, 128);
+        t.record(7, 499);
+        t.record(7, 499); // idempotent
+        assert_eq!(t.max_replication(), 6);
+        assert_eq!(t.total_pairs(), 6);
+        // A fresh key born wide also works.
+        t.record(8, 400);
+        assert_eq!(t.distinct_keys(), 2);
+        assert_eq!(t.total_pairs(), 7);
     }
 
     #[test]

@@ -198,6 +198,23 @@ impl DatasetProfile {
         }
     }
 
+    /// A synthetic Zipf profile with an explicit exponent `s` — the `z`
+    /// knob of the D-Choices sweeps ("When Two Choices Are not Enough"
+    /// studies z up to 2.2, far past any Table I dataset). The target `p1`
+    /// is derived as `1 / H_{K,s}`; building the profile fits the exponent
+    /// back from it, recovering `s` to the fit tolerance.
+    pub fn zipf_exponent(keys: u64, s: f64, messages: u64) -> Self {
+        assert!(keys >= 2 && s > 0.0);
+        Self {
+            name: format!("Z{s:.1}"),
+            messages,
+            keys,
+            target_p1: Some(1.0 / crate::zipf::harmonic(keys, s)),
+            duration_hours: 10.0,
+            kind: ProfileKind::Zipf,
+        }
+    }
+
     /// All five non-graph profiles of Fig. 2, in the paper's panel order.
     pub fn figure2_profiles() -> Vec<Self> {
         vec![
@@ -336,6 +353,18 @@ mod tests {
         let p = DatasetProfile::wikipedia().scale(0.1);
         assert_eq!(p.messages, 500_000);
         assert_eq!(p.keys, 66_000);
+    }
+
+    #[test]
+    fn zipf_exponent_profile_hits_the_requested_skew() {
+        // z = 2.0 over 10k keys: p1 = 1/H ≈ 0.608/ζ(2)-ish for finite K.
+        let spec = DatasetProfile::zipf_exponent(10_000, 2.0, 200_000).build(1);
+        let expect = 1.0 / crate::zipf::harmonic(10_000, 2.0);
+        let p1 = spec.p1().expect("zipf p1 known");
+        assert!((p1 - expect).abs() < 1e-4, "p1 = {p1}, expect {expect}");
+        let (m, _, emp_p1) = empirical_stats(&spec, 2);
+        assert_eq!(m, 200_000);
+        assert!((emp_p1 - expect).abs() < 0.02, "empirical p1 = {emp_p1}");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Stream operators.
 
+use std::time::Duration;
+
 use crate::grouping::{Router, Target};
 use crate::tuple::{Packet, Tuple};
 use crossbeam::channel::Sender;
@@ -44,6 +46,10 @@ pub struct Emitter<'a> {
     pub(crate) inherit_born_ns: u64,
     pub(crate) now_ns: u64,
     pub(crate) emitted: &'a mut u64,
+    /// Emulated service time requested via [`Emitter::stall`] that the pool
+    /// executor realizes by re-arming the task on the timer wheel (the
+    /// blocking executor sleeps inline and leaves this at 0).
+    pub(crate) deferred_ns: u64,
 }
 
 /// One outgoing edge of a running instance.
@@ -146,10 +152,42 @@ impl Emitter<'_> {
         *self.emitted
     }
 
+    /// Emulate `d` of per-tuple service time (the paper's Q4 CPU-delay
+    /// knob).
+    ///
+    /// Under the thread-per-instance executor this sleeps inline — each
+    /// instance owns a dedicated OS thread, so blocking it *is* the service
+    /// model. Under the pool executor the time is *deferred*: the current
+    /// activation ends after this tuple and the task is re-armed on the
+    /// central timer wheel, so emulated service time never occupies a
+    /// worker thread and hundreds of delay-emulating instances progress
+    /// concurrently on a small pool.
+    ///
+    /// Multiple calls within one `execute` accumulate. The knob models
+    /// bolt-side processing cost: only the bolt `execute` path honors
+    /// deferral under the pool executor — a spout (or tick/finish
+    /// callback) calling `stall` sleeps inline under the thread executor
+    /// but is ignored under the pool.
+    pub fn stall(&mut self, d: Duration) {
+        match &self.sink {
+            Sink::Blocking => std::thread::sleep(d),
+            Sink::Pool { .. } => {
+                self.deferred_ns = self.deferred_ns.saturating_add(d.as_nanos() as u64);
+            }
+        }
+    }
+
     /// An emitter with no outgoing edges: emissions are counted, then
     /// dropped. For unit-testing bolts outside a running topology.
     pub fn drop_sink(emitted: &mut u64) -> Emitter<'_> {
-        Emitter { edges: &mut [], sink: Sink::Blocking, inherit_born_ns: 0, now_ns: 1, emitted }
+        Emitter {
+            edges: &mut [],
+            sink: Sink::Blocking,
+            inherit_born_ns: 0,
+            now_ns: 1,
+            emitted,
+            deferred_ns: 0,
+        }
     }
 }
 

@@ -70,6 +70,7 @@ pub(crate) fn run_spout(
             // Guard against a zero elapsed reading: 0 means "stamp me".
             now_ns: now_ns.max(1),
             emitted: &mut emitted,
+            deferred_ns: 0,
         };
         em.emit(tuple);
     }
@@ -124,6 +125,7 @@ pub(crate) fn run_bolt(
                         inherit_born_ns: 0,
                         now_ns,
                         emitted: &mut emitted,
+                        deferred_ns: 0,
                     };
                     bolt.tick(&mut em);
                     ticks += 1;
@@ -151,6 +153,7 @@ pub(crate) fn run_bolt(
                     inherit_born_ns: tuple.born_ns,
                     now_ns,
                     emitted: &mut emitted,
+                    deferred_ns: 0,
                 };
                 bolt.execute(tuple, &mut em);
                 processed += 1;
@@ -175,6 +178,7 @@ pub(crate) fn run_bolt(
             inherit_born_ns: 0,
             now_ns,
             emitted: &mut emitted,
+            deferred_ns: 0,
         };
         bolt.finish(&mut em);
     }

@@ -1,7 +1,10 @@
 //! Stream groupings — how an edge partitions tuples among the downstream
 //! instances. These mirror Storm's groupings plus the paper's new primitive.
 
-use pkg_core::{Estimate, HotAwarePkg, PartialKeyGrouping, Partitioner as _};
+use pkg_core::{
+    AdaptiveChoices, ChoiceConfig, ChoiceStrategy, Estimate, HotAwarePkg, PartialKeyGrouping,
+    Partitioner as _, DEFAULT_EPSILON,
+};
 
 /// Partitioning strategy of one topology edge.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,15 +19,32 @@ pub enum Grouping {
         /// Number of candidate workers per key.
         d: usize,
     },
-    /// Hot-aware PKG (the W-Choices extension): keys locally estimated to
-    /// exceed `hot_threshold` of the sender's traffic may use `d_hot`
-    /// candidates; everything else uses plain two-choice PKG. Use when the
-    /// downstream parallelism exceeds `O(1/p1)`.
+    /// Hot-aware PKG (an ad-hoc precursor of the W-Choices extension): keys
+    /// locally estimated to exceed `hot_threshold` of the sender's traffic
+    /// may use `d_hot` candidates; everything else uses plain two-choice
+    /// PKG. Prefer [`Grouping::DChoices`]/[`Grouping::WChoices`], which
+    /// implement the journal's candidate-count rule.
     PartialHot {
         /// Frequency fraction above which a key counts as hot.
         hot_threshold: f64,
         /// Choices for hot keys (`usize::MAX` = all instances).
         d_hot: usize,
+    },
+    /// D-CHOICES (the journal follow-up's adaptive scheme): keys whose
+    /// locally-estimated frequency crosses `θ = 2(1+ε)/n` get
+    /// `⌈p̂·n/(1+ε)⌉` candidates from their hash sequence; tail keys route
+    /// exactly like [`Grouping::Partial`] with `d = 2`. Use when the
+    /// downstream parallelism exceeds `O(1/p1)`.
+    DChoices {
+        /// Relative imbalance target `ε`.
+        epsilon: f64,
+    },
+    /// W-CHOICES: like [`Grouping::DChoices`] but head keys may go to
+    /// *every* downstream instance (lowest replication-vs-balance latency,
+    /// highest aggregation cost).
+    WChoices {
+        /// Relative imbalance target `ε`.
+        epsilon: f64,
     },
     /// Everything to instance 0 (Storm's global grouping; used for final
     /// aggregators).
@@ -37,6 +57,16 @@ impl Grouping {
     /// The paper's PKG with two choices.
     pub fn partial_key() -> Self {
         Grouping::Partial { d: 2 }
+    }
+
+    /// D-Choices with the default imbalance target.
+    pub fn d_choices() -> Self {
+        Grouping::DChoices { epsilon: DEFAULT_EPSILON }
+    }
+
+    /// W-Choices with the default imbalance target.
+    pub fn w_choices() -> Self {
+        Grouping::WChoices { epsilon: DEFAULT_EPSILON }
     }
 }
 
@@ -66,6 +96,7 @@ enum RouterKind {
     Key { seed: u64 },
     Partial { pkg: PartialKeyGrouping },
     PartialHot { pkg: HotAwarePkg },
+    Adaptive { choices: AdaptiveChoices },
     Global,
     Broadcast,
 }
@@ -89,6 +120,24 @@ impl Router {
                     Estimate::local(n),
                     *hot_threshold,
                     (*d_hot).min(n).max(2),
+                    seed,
+                ),
+            },
+            Grouping::DChoices { epsilon } => RouterKind::Adaptive {
+                choices: AdaptiveChoices::new(
+                    n,
+                    ChoiceStrategy::DChoices,
+                    ChoiceConfig::new(*epsilon),
+                    Estimate::local(n),
+                    seed,
+                ),
+            },
+            Grouping::WChoices { epsilon } => RouterKind::Adaptive {
+                choices: AdaptiveChoices::new(
+                    n,
+                    ChoiceStrategy::WChoices,
+                    ChoiceConfig::new(*epsilon),
+                    Estimate::local(n),
                     seed,
                 ),
             },
@@ -116,6 +165,7 @@ impl Router {
             }
             RouterKind::Partial { pkg } => Target::One(pkg.route(key_id, 0)),
             RouterKind::PartialHot { pkg } => Target::One(pkg.route(key_id, 0)),
+            RouterKind::Adaptive { choices } => Target::One(choices.route(key_id, 0)),
             RouterKind::Global => Target::One(0),
             RouterKind::Broadcast => Target::All,
         }
@@ -180,6 +230,59 @@ mod tests {
             "hot key stayed on {} instances; W-Choices must widen it",
             hot_targets.len()
         );
+    }
+
+    #[test]
+    fn d_choices_widens_hot_key_and_keeps_tail_at_two() {
+        let n = 32;
+        let mut r = Router::new(&Grouping::d_choices(), n, 5, 0);
+        let mut hot_targets = std::collections::HashSet::new();
+        let mut tail_targets: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..40_000u64 {
+            // 40% of traffic on key 0, rest a cycling uniform tail.
+            let key = if i % 5 < 2 { 0 } else { 1 + (i % 400) };
+            if let Target::One(t) = r.route(key) {
+                if key == 0 {
+                    hot_targets.insert(t);
+                } else {
+                    tail_targets.entry(key).or_default().insert(t);
+                }
+            }
+        }
+        assert!(
+            hot_targets.len() > 2,
+            "hot key stayed on {} instances; D-Choices must widen it",
+            hot_targets.len()
+        );
+        // d(0.4) = ceil(0.4·32/1.1) = 12: never wider than the bound.
+        assert!(hot_targets.len() <= 12, "hot key on {} instances", hot_targets.len());
+        for (key, targets) in tail_targets {
+            assert!(targets.len() <= 2, "tail key {key} used {} instances", targets.len());
+        }
+    }
+
+    #[test]
+    fn w_choices_spreads_extreme_key_past_d_choices() {
+        let n = 24;
+        let run = |grouping: Grouping| {
+            let mut r = Router::new(&grouping, n, 7, 0);
+            let mut hot = std::collections::HashSet::new();
+            for i in 0..30_000u64 {
+                let key = if i % 2 == 0 { 0 } else { i + 1 };
+                if let Target::One(t) = r.route(key) {
+                    if key == 0 {
+                        hot.insert(t);
+                    }
+                }
+            }
+            hot.len()
+        };
+        let dc = run(Grouping::d_choices());
+        let wc = run(Grouping::w_choices());
+        assert_eq!(wc, n, "a 50% key under W-Choices reaches every instance");
+        assert!(dc < wc, "D-Choices spread {dc} must stay below W-Choices {wc}");
+        assert!(dc > 2);
     }
 
     #[test]

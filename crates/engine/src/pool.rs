@@ -70,7 +70,8 @@ enum WakeKind {
     /// Data/tick wake: does not disturb a backpressure-parked task (it
     /// cannot make progress until its downstream drains).
     Notify,
-    /// Backpressure-release wake from a consumer that freed mailbox space.
+    /// Park-ending wake: a consumer freed mailbox space (backpressure
+    /// release) or a service-stall deadline fired on the timer wheel.
     Unpark,
 }
 
@@ -81,6 +82,17 @@ enum Outcome {
     Yield,
     /// Downstream full: sleep until the consumer wakes us.
     Park,
+    /// Emulated service time requested ([`Emitter::stall`]): park and arm
+    /// the carried deadline on the timer wheel — without occupying a
+    /// worker thread, which is what lets `engine_scale`-style runs emulate
+    /// per-tuple CPU cost on many more instances than workers. The park is
+    /// unconditional (a data wake that landed mid-activation is absorbed —
+    /// the whole point is not to process more input before the deadline),
+    /// and the timer is armed only *after* the task is parked so the wake
+    /// can never be consumed early and lost. If the stalling tuple also
+    /// hit backpressure, the task is additionally registered as a mailbox
+    /// waiter and whichever wake fires first resumes it.
+    Stall(u64),
     /// Eof protocol complete, stats finalized.
     Done,
 }
@@ -355,6 +367,7 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                                 inherit_born_ns: 0,
                                 now_ns,
                                 emitted,
+                                deferred_ns: 0,
                             };
                             em.emit(tuple);
                             if !outbox.is_empty() {
@@ -394,6 +407,7 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                         inherit_born_ns: 0,
                         now_ns,
                         emitted,
+                        deferred_ns: 0,
                     };
                     bolt.tick(&mut em);
                     *ticks += 1;
@@ -427,10 +441,22 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                             inherit_born_ns: tuple.born_ns,
                             now_ns,
                             emitted,
+                            deferred_ns: 0,
                         };
                         bolt.execute(tuple, &mut em);
+                        let stall_ns = em.deferred_ns;
                         *processed += 1;
-                        if !outbox.is_empty() && !deliver_outbox(shared, tid, outbox) {
+                        let blocked = !outbox.is_empty() && !deliver_outbox(shared, tid, outbox);
+                        if stall_ns > 0 {
+                            // End the activation: emulated service time must
+                            // not hold a worker. run_task parks the task and
+                            // then arms this deadline (in that order — see
+                            // Outcome::Stall). When `blocked` too, the
+                            // mailbox waiter registered by push_or_park
+                            // doubles as an earlier-release wake.
+                            return Outcome::Stall(shared.now_ns() + stall_ns);
+                        }
+                        if blocked {
                             return Outcome::Park;
                         }
                     }
@@ -449,6 +475,7 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                                 inherit_born_ns: 0,
                                 now_ns,
                                 emitted,
+                                deferred_ns: 0,
                             };
                             bolt.finish(&mut em);
                             queue_eofs(edges, outbox);
@@ -519,6 +546,16 @@ fn run_task(shared: &Shared, tid: usize, wid: usize) {
                 requeue();
             }
         }
+        Outcome::Stall(deadline_ns) => {
+            // Park *unconditionally*: a NOTIFIED data wake that landed
+            // mid-activation must not cancel the emulated service time (the
+            // mailbox keeps the packets; we resume at the deadline). Safe to
+            // absorb because the timer below is a guaranteed future wake —
+            // and it is armed only now, after PARKED is visible, so it can
+            // never fire against RUNNING and be consumed as a no-op.
+            slot.state.store(PARKED, SeqCst);
+            shared.sched.lock().expect("sched lock").timers.insert_unpark(deadline_ns, tid);
+        }
         Outcome::Done => unreachable!("handled above"),
     }
 }
@@ -537,7 +574,7 @@ fn steal(shared: &Shared, wid: usize) -> Option<usize> {
 
 fn worker_loop(shared: &Shared, wid: usize) {
     let parker = Parker::new();
-    let mut due: Vec<usize> = Vec::new();
+    let mut due: Vec<(usize, bool)> = Vec::new();
     loop {
         // Pick order: global injector (also firing due timers) → own local
         // queue → steal from a sibling. Global-first keeps freshly woken
@@ -546,8 +583,9 @@ fn worker_loop(shared: &Shared, wid: usize) {
             let mut s = shared.sched.lock().expect("sched lock");
             due.clear();
             s.timers.fire(shared.now_ns(), &mut due);
-            for &t in &due {
-                if shared.wake_state(t, &WakeKind::Notify) {
+            for &(t, unpark) in &due {
+                let kind = if unpark { WakeKind::Unpark } else { WakeKind::Notify };
+                if shared.wake_state(t, &kind) {
                     s.runq.push_back(t);
                 }
             }

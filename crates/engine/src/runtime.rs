@@ -625,6 +625,88 @@ mod tests {
         assert_eq!(stats.processed("sink"), 0);
     }
 
+    /// A bolt charging a fixed emulated service time per tuple via
+    /// [`Emitter::stall`].
+    struct StallBolt {
+        per_tuple: Duration,
+        seen: u64,
+    }
+    impl Bolt for StallBolt {
+        fn execute(&mut self, _t: Tuple, out: &mut Emitter<'_>) {
+            self.seen += 1;
+            out.stall(self.per_tuple);
+        }
+    }
+
+    #[test]
+    fn pool_stalls_run_concurrently_instead_of_serializing_a_worker() {
+        // 8 delay-emulating instances, 10 tuples × 5 ms each = 400 ms of
+        // total emulated service time, driven by ONE pool worker. Sleeping
+        // in execute would serialize all of it (≥ 400 ms); timer-wheel
+        // stalls overlap across instances, so wall time stays near the
+        // per-instance 50 ms. The generous bound still rejects any
+        // serializing regression by a 2.5× margin.
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(80, 80)));
+        let _ = t
+            .add_bolt("stall", 8, |_| {
+                Box::new(StallBolt { per_tuple: Duration::from_millis(5), seen: 0 })
+            })
+            .input(s, Grouping::Shuffle);
+        let stats = Runtime::with_options(pool_opts(1, 4, 64, 3)).run(t);
+        assert_eq!(stats.processed("stall"), 80);
+        assert!(
+            stats.wall < Duration::from_millis(250),
+            "stalls serialized the single worker: wall = {:?}",
+            stats.wall
+        );
+    }
+
+    #[test]
+    fn pool_stalls_survive_concurrent_data_wakes() {
+        // One stalling bolt instance fed by a fast spout on a 2-worker
+        // pool: every push lands mid-activation and flips the bolt task to
+        // NOTIFIED. The stall park must absorb those wakes (resuming at
+        // the timer deadline, not immediately), so the 40 × 5 ms of
+        // emulated service time is a hard LOWER bound on wall time — a
+        // regression to requeue-on-notify finishes in milliseconds.
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(40, 11)));
+        let _ = t
+            .add_bolt("stall", 1, |_| {
+                Box::new(StallBolt { per_tuple: Duration::from_millis(5), seen: 0 })
+            })
+            .input(s, Grouping::Global);
+        let stats = Runtime::with_options(pool_opts(2, 32, 8, 7)).run(t);
+        assert_eq!(stats.processed("stall"), 40);
+        assert!(
+            stats.wall >= Duration::from_millis(150),
+            "stalls were skipped under concurrent wakes: wall = {:?} < 40 × 5 ms",
+            stats.wall
+        );
+    }
+
+    #[test]
+    fn thread_executor_stall_sleeps_inline_and_still_completes() {
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(40, 7)));
+        let _ = t
+            .add_bolt("stall", 4, |_| {
+                Box::new(StallBolt { per_tuple: Duration::from_millis(1), seen: 0 })
+            })
+            .input(s, Grouping::Shuffle);
+        let stats = Runtime::with_options(RuntimeOptions {
+            channel_capacity: 16,
+            seed: 2,
+            executor: ExecutorMode::ThreadPerInstance,
+        })
+        .run(t);
+        assert_eq!(stats.processed("stall"), 40);
+        // 4 dedicated threads × 10 tuples × 1 ms: at least ~10 ms of real
+        // sleeping happened somewhere (inline semantics preserved).
+        assert!(stats.wall >= Duration::from_millis(8), "wall = {:?}", stats.wall);
+    }
+
     #[test]
     fn backpressure_does_not_deadlock() {
         // Tiny queues, fast producer, slow consumer: must still complete.

@@ -23,6 +23,10 @@ const SLOTS: u64 = 256;
 struct Entry {
     deadline_ns: u64,
     task: usize,
+    /// `true` for service-stall deadlines, which must wake even a PARKED
+    /// task (`WakeKind::Unpark`); tick deadlines wake with `Notify` and
+    /// leave backpressure-parked tasks alone.
+    unpark: bool,
 }
 
 /// A hashed timer wheel over `(deadline, task)` entries.
@@ -57,11 +61,21 @@ impl TimerWheel {
         self.len == 0
     }
 
-    /// Register `task` to be woken once the clock reaches `deadline_ns`
-    /// (nanoseconds on the same clock passed to [`TimerWheel::fire`]).
+    /// Register `task` to be tick-woken (`Notify`) once the clock reaches
+    /// `deadline_ns` (nanoseconds on the same clock passed to
+    /// [`TimerWheel::fire`]).
     pub(crate) fn insert(&mut self, deadline_ns: u64, task: usize) {
-        let entry = Entry { deadline_ns, task };
-        let g = granule(deadline_ns).max(self.cursor);
+        self.insert_entry(Entry { deadline_ns, task, unpark: false });
+    }
+
+    /// Register a service-stall deadline: fires as an `Unpark` wake, which
+    /// resumes the stalled (parked) task.
+    pub(crate) fn insert_unpark(&mut self, deadline_ns: u64, task: usize) {
+        self.insert_entry(Entry { deadline_ns, task, unpark: true });
+    }
+
+    fn insert_entry(&mut self, entry: Entry) {
+        let g = granule(entry.deadline_ns).max(self.cursor);
         if g < self.cursor + SLOTS {
             self.slots[(g % SLOTS) as usize].push(entry);
         } else {
@@ -70,9 +84,9 @@ impl TimerWheel {
         self.len += 1;
     }
 
-    /// Collect every task whose deadline is `<= now_ns` into `due` and
-    /// advance the cursor.
-    pub(crate) fn fire(&mut self, now_ns: u64, due: &mut Vec<usize>) {
+    /// Collect every `(task, unpark)` whose deadline is `<= now_ns` into
+    /// `due` and advance the cursor.
+    pub(crate) fn fire(&mut self, now_ns: u64, due: &mut Vec<(usize, bool)>) {
         if self.len == 0 {
             // Keep the cursor tracking the clock so late inserts land in
             // live slots rather than a long-dead window.
@@ -90,7 +104,7 @@ impl TimerWheel {
                 // residents; fire only the former, and of those only the
                 // truly-due (the cursor granule itself may be mid-flight).
                 if granule(e.deadline_ns).max(cursor) == cursor && e.deadline_ns <= now_ns {
-                    due.push(e.task);
+                    due.push((e.task, e.unpark));
                     self.len -= 1;
                 } else {
                     slot[kept] = e;
@@ -137,8 +151,9 @@ mod tests {
     fn fired(w: &mut TimerWheel, now: u64) -> Vec<usize> {
         let mut due = Vec::new();
         w.fire(now, &mut due);
-        due.sort_unstable();
-        due
+        let mut tasks: Vec<usize> = due.into_iter().map(|(t, _)| t).collect();
+        tasks.sort_unstable();
+        tasks
     }
 
     #[test]
@@ -195,6 +210,17 @@ mod tests {
         let _ = fired(&mut w, 50 * GRANULE_NS); // cursor advanced
         w.insert(3, 4); // deadline long past the cursor
         assert_eq!(fired(&mut w, 50 * GRANULE_NS + 1), vec![4]);
+    }
+
+    #[test]
+    fn unpark_flag_survives_the_wheel() {
+        let mut w = TimerWheel::new();
+        w.insert(3 * GRANULE_NS, 1);
+        w.insert_unpark(3 * GRANULE_NS + 1, 2);
+        let mut due = Vec::new();
+        w.fire(4 * GRANULE_NS, &mut due);
+        due.sort_unstable();
+        assert_eq!(due, vec![(1, false), (2, true)]);
     }
 
     #[test]

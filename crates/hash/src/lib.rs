@@ -36,4 +36,4 @@ pub mod seeded;
 
 pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use murmur3::{murmur3_128, murmur3_32, murmur3_64};
-pub use seeded::{HashFamily, StreamKey};
+pub use seeded::{member_seed, HashFamily, StreamKey};

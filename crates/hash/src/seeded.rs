@@ -97,6 +97,21 @@ const KEY_ID_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 /// sweep `d` up to this bound; larger `d` degenerates into shuffle grouping.
 pub const MAX_CHOICES: usize = 16;
 
+/// The seed of member `index` of the (conceptually unbounded) hash sequence
+/// derived from `experiment_seed`.
+///
+/// [`HashFamily`] materializes the first `d` members of this sequence;
+/// partitioners that extend a key's candidate set adaptively (the
+/// D-Choices/W-Choices schemes in `pkg-core::choice`) walk the same sequence
+/// past `MAX_CHOICES`, so their first two candidates coincide with plain
+/// PKG's and extra candidates are reproducible from the experiment seed
+/// alone.
+#[inline]
+pub fn member_seed(experiment_seed: u64, index: u64) -> u64 {
+    // fmix64 decorrelates consecutive indices into well-spread seeds.
+    fmix64(experiment_seed ^ fmix64(index.wrapping_add(0x517c_c1b7_2722_0a95)))
+}
+
 /// A family of `d` independent seeded hash functions mapping keys to
 /// `[0, n)` — the candidate workers of the power-of-`d`-choices scheme.
 #[derive(Debug, Clone)]
@@ -112,10 +127,7 @@ impl HashFamily {
     pub fn new(d: usize, experiment_seed: u64) -> Self {
         assert!(d >= 1, "a hash family needs at least one member");
         assert!(d <= MAX_CHOICES, "at most {MAX_CHOICES} choices supported");
-        let seeds = (0..d as u64)
-            // fmix64 decorrelates consecutive indices into well-spread seeds.
-            .map(|i| fmix64(experiment_seed ^ fmix64(i.wrapping_add(0x517c_c1b7_2722_0a95))))
-            .collect();
+        let seeds = (0..d as u64).map(|i| member_seed(experiment_seed, i)).collect();
         Self { seeds }
     }
 
@@ -237,5 +249,21 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn zero_choices_panics() {
         let _ = HashFamily::new(0, 0);
+    }
+
+    #[test]
+    fn member_seed_extends_family_seeds() {
+        // The unbounded sequence and the materialized family agree on every
+        // shared index — the property adaptive schemes rely on.
+        let fam = HashFamily::new(MAX_CHOICES, 77);
+        for (i, &s) in fam.seeds().iter().enumerate() {
+            assert_eq!(s, member_seed(77, i as u64));
+        }
+        // And the sequence keeps going past MAX_CHOICES with distinct seeds.
+        let far: Vec<u64> = (0..100).map(|i| member_seed(77, i)).collect();
+        let mut dedup = far.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), far.len(), "sequence members collide");
     }
 }

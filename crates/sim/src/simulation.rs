@@ -269,6 +269,49 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_choices_beat_pkg_on_skew_and_stay_replication_bounded() {
+        // A skewed Zipf stream at W = 50 — past the two-choice limit for
+        // its hottest key — simulated end to end through the SchemeSpec
+        // build path with replication tracking.
+        let spec = DatasetProfile::zipf_exponent(2_000, 2.0, 80_000).build(9);
+        let run_scheme = |scheme: SchemeSpec| {
+            run(&spec, &SimConfig::new(50, 3, scheme).with_seed(9).with_replication())
+        };
+        let pkg = run_scheme(SchemeSpec::pkg(EstimateKind::Local));
+        let dc = run_scheme(SchemeSpec::d_choices(EstimateKind::Local));
+        let wc = run_scheme(SchemeSpec::w_choices(EstimateKind::Local));
+        assert!(
+            dc.avg_imbalance < pkg.avg_imbalance / 4.0,
+            "D-Choices {} not ≪ PKG {}",
+            dc.avg_imbalance,
+            pkg.avg_imbalance
+        );
+        assert!(wc.avg_imbalance < pkg.avg_imbalance / 4.0);
+        let (rp, rd, rw) = (
+            pkg.replication.expect("tracked"),
+            dc.replication.expect("tracked"),
+            wc.replication.expect("tracked"),
+        );
+        assert!(rp.max <= 2, "PKG never spreads a key past 2");
+        assert!(rd.max > 2, "D-Choices must widen the head");
+        assert!(rd.avg < rw.avg, "D-Choices replication {} !< W-Choices {}", rd.avg, rw.avg);
+        assert_eq!(rw.max as usize, 50, "W-Choices head key reaches every worker");
+    }
+
+    #[test]
+    fn adaptive_choices_match_pkg_simulation_without_head_keys() {
+        // LN2 at W = 5: the hottest key (~7%) is far below θ = 2(1+ε)/5, so
+        // the adaptive schemes must reproduce PKG's per-worker loads
+        // exactly (byte-identical routing through the whole simulation).
+        let spec = small_spec();
+        let pkg = run(&spec, &SimConfig::new(5, 2, SchemeSpec::pkg(EstimateKind::Local)));
+        let dc = run(&spec, &SimConfig::new(5, 2, SchemeSpec::d_choices(EstimateKind::Local)));
+        let wc = run(&spec, &SimConfig::new(5, 2, SchemeSpec::w_choices(EstimateKind::Local)));
+        assert_eq!(pkg.worker_loads, dc.worker_loads);
+        assert_eq!(pkg.worker_loads, wc.worker_loads);
+    }
+
+    #[test]
     fn aggregation_overhead_trades_messages_for_staleness() {
         let spec = small_spec();
         let run_t = |period_ms: u64| {

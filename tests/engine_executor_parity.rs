@@ -218,6 +218,51 @@ fn diamond_topology_identical_across_executors() {
     }
 }
 
+/// The adaptive D-Choices/W-Choices groupings route per-sender with
+/// deterministic head-tracker state, so — like PKG — their per-instance
+/// loads must be byte-identical across executors, while actually widening
+/// the hot key past two instances.
+#[test]
+fn adaptive_choice_groupings_identical_across_executors() {
+    for (name, grouping) in
+        [("d-choices", Grouping::d_choices()), ("w-choices", Grouping::w_choices())]
+    {
+        let grouping_for_build = grouping.clone();
+        let build = move || {
+            let mut topo = Topology::new();
+            // 2 sources, 30% hot key: the head threshold at 16 instances is
+            // θ = 2(1+ε)/16 ≈ 0.14, so the hot key classifies head at each
+            // sender while the 500-key tail stays two-choice.
+            let s = topo.add_spout("src", 2, |_| {
+                spout_from_iter((0..15_000u64).map(|i| {
+                    let word = if i % 10 < 3 { "hot".to_string() } else { format!("w{}", i % 500) };
+                    Tuple::new(word.into_bytes(), 1)
+                }))
+            });
+            let _count = topo
+                .add_bolt("count", 16, |_| Box::new(CountingBolt::default()))
+                .input(s, grouping_for_build.clone());
+            topo
+        };
+        let mut baseline: Option<Observed> = None;
+        for (label, mode) in MODES {
+            let stats = Runtime::with_options(opts(mode, 13, 256)).run(build());
+            assert_eq!(stats.processed("count"), 30_000, "{label}/{name} conservation");
+            let got = observe(&stats, "count");
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => assert_eq!(&got, want, "{label}/{name} diverged from oracle"),
+            }
+        }
+        // The loads themselves prove the scheme engaged: with KG-like
+        // routing the hot 9000 tuples would pin one instance; adaptive
+        // routing spreads them, so no instance holds more than a third.
+        let loads = baseline.expect("ran at least one mode").loads;
+        let max = *loads.iter().max().expect("non-empty");
+        assert!(max < 10_000, "{name}: loads {loads:?} suggest the hot key never widened");
+    }
+}
+
 /// Backpressure regime: capacity-1 mailboxes through a chain. The pool must
 /// park/unpark its way through while preserving the exact same counts.
 #[test]

@@ -200,3 +200,54 @@ proptest! {
         prop_assert!(r.final_imbalance >= 0.0);
     }
 }
+
+// A separate proptest! invocation: the vendored tt-munching macro's
+// recursion depth scales with the tokens of one block, so new test groups
+// get their own block instead of deepening the first.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn d_choices_candidate_count_is_monotone_in_frequency(
+        n in 2usize..200,
+        epsilon in 0.0f64..0.5,
+        pa in 0.0f64..1.0,
+        pb in 0.0f64..1.0,
+    ) {
+        let (p1, p2) = if pa <= pb { (pa, pb) } else { (pb, pa) };
+        let cfg = pkg_core::ChoiceConfig::new(epsilon);
+        let (d1, d2) = (cfg.d_for(p1, n), cfg.d_for(p2, n));
+        prop_assert!(d1 <= d2, "d_for({p1}) = {d1} > d_for({p2}) = {d2}");
+        prop_assert!((2..=n).contains(&d1) && (2..=n).contains(&d2));
+        // At the head threshold the rule degenerates to the two base
+        // choices — classification is continuous at θ.
+        prop_assert_eq!(cfg.d_for(cfg.theta(n), n), 2);
+    }
+
+    #[test]
+    fn d_choices_equals_pkg_byte_for_byte_on_uniform_keys(
+        n in 2usize..32,
+        seed: u64,
+        messages in 500u64..4_000,
+    ) {
+        // Keys cycle over 4n values: every frequency is 1/(4n), a quarter
+        // of θ = 2(1+ε)/n, and the head tracker provably (not just
+        // probabilistically) never classifies any of them head. With no
+        // head keys the adaptive schemes must be PKG, decision by decision.
+        let mut pkg = PartialKeyGrouping::new(n, 2, Estimate::local(n), seed);
+        let mut dc = pkg_core::AdaptiveChoices::d_choices(
+            n, Estimate::local(n), pkg_core::DEFAULT_EPSILON, seed);
+        let mut wc = pkg_core::AdaptiveChoices::w_choices(
+            n, Estimate::local(n), pkg_core::DEFAULT_EPSILON, seed);
+        for t in 0..messages {
+            let key = t % (4 * n as u64);
+            let expect = pkg.route(key, t);
+            prop_assert_eq!(dc.route(key, t), expect, "D-Choices diverged at t={}", t);
+            prop_assert_eq!(wc.route(key, t), expect, "W-Choices diverged at t={}", t);
+        }
+        // And no key was ever reported with more than two candidates.
+        for key in 0..(4 * n as u64) {
+            prop_assert!(dc.candidates(key).len() <= 2);
+        }
+    }
+}

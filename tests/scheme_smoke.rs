@@ -22,6 +22,10 @@ fn all_specs() -> Vec<SchemeSpec> {
         SchemeSpec::OnGreedy { estimate: EstimateKind::Local },
         SchemeSpec::OnGreedy { estimate: EstimateKind::Global },
         SchemeSpec::OffGreedy,
+        SchemeSpec::d_choices(EstimateKind::Local),
+        SchemeSpec::DChoices { estimate: EstimateKind::Global, epsilon: 0.05 },
+        SchemeSpec::w_choices(EstimateKind::Local),
+        SchemeSpec::WChoices { estimate: EstimateKind::Global, epsilon: 0.05 },
     ]
 }
 
@@ -76,6 +80,92 @@ fn candidate_sets_are_stable_and_source_independent() {
             );
         }
     }
+}
+
+/// The adaptive schemes' smoke invariants on a skewed stream: every routed
+/// worker lies inside the candidate set reported *just before* the route,
+/// tail keys never leave their two base candidates, and a 10%-frequency
+/// head key under W-Choices reaches every worker.
+#[test]
+fn adaptive_schemes_respect_candidate_sets_and_tail_stays_at_two() {
+    let workers = 50;
+    let seed = 42;
+    // 10% of traffic on key 1_000_000; the rest cycles a 96-key tail, each
+    // tail key ≈ 0.94% ≪ θ = 2(1+ε)/50.
+    let stream = |n: u64| (0..n).map(|i| if i % 10 == 0 { 1_000_000 } else { i % 96 });
+    for spec in
+        [SchemeSpec::d_choices(EstimateKind::Local), SchemeSpec::w_choices(EstimateKind::Local)]
+    {
+        let shared = pkg_core::SharedLoads::new(workers);
+        let mut p = spec.build(workers, seed, 0, &shared, None);
+        let base: std::collections::HashMap<u64, Vec<usize>> =
+            stream(200).map(|k| (k, p.candidates(k))).collect();
+        let mut observed: std::collections::HashMap<u64, std::collections::BTreeSet<usize>> =
+            std::collections::HashMap::new();
+        for (t, key) in stream(50_000).enumerate() {
+            let cands = p.candidates(key);
+            let w = p.route(key, t as u64);
+            assert!(
+                cands.contains(&w),
+                "{}: route({key}) = {w} escaped candidates {cands:?}",
+                spec.label()
+            );
+            observed.entry(key).or_default().insert(w);
+            shared.record(w);
+        }
+        for (key, workers_used) in &observed {
+            if *key == 1_000_000 {
+                continue;
+            }
+            // Tail keys: never classified head, so exactly the (≤ 2 after
+            // hash collisions) base candidates.
+            assert!(
+                workers_used.len() <= 2,
+                "{}: tail key {key} used {} workers",
+                spec.label(),
+                workers_used.len()
+            );
+            for w in workers_used {
+                assert!(
+                    base[key].contains(w),
+                    "{}: tail key {key} escaped its base candidates",
+                    spec.label()
+                );
+            }
+        }
+        let hot = &observed[&1_000_000];
+        assert!(hot.len() > 2, "{}: head key stayed on {} workers", spec.label(), hot.len());
+        if matches!(spec, SchemeSpec::DChoices { .. }) {
+            // D-Choices: d(0.1) = ⌈0.1·50/1.1⌉ = 5 candidates at the
+            // converged estimate; transients may add a few more below the
+            // final frequency's bound, never the full worker set.
+            assert!(
+                hot.len() < workers / 2,
+                "{}: head key spread to {} workers, expected ≪ {workers}",
+                spec.label(),
+                hot.len()
+            );
+        }
+    }
+}
+
+/// A 10%-frequency head key under W-Choices may reach *all* W workers: on a
+/// balanced tail (unique keys, which greedy-2 spreads almost perfectly) the
+/// head key's global argmin water-fills every worker.
+#[test]
+fn w_choices_head_key_reaches_all_workers() {
+    let workers = 50;
+    let shared = pkg_core::SharedLoads::new(workers);
+    let mut p = SchemeSpec::w_choices(EstimateKind::Local).build(workers, 42, 0, &shared, None);
+    let mut hot = std::collections::BTreeSet::new();
+    for t in 0..50_000u64 {
+        let key = if t % 10 == 0 { 1_000_000 } else { t + 1 };
+        let w = p.route(key, t);
+        if key == 1_000_000 {
+            hot.insert(w);
+        }
+    }
+    assert_eq!(hot.len(), workers, "head key reached only {} of {workers} workers", hot.len());
 }
 
 #[test]
