@@ -64,6 +64,7 @@ fn run_point(cfg: &WordCountConfig, mode: ExecutorMode) -> Result<Measurement, S
         channel_capacity: 1_024,
         seed: seed(),
         executor: mode,
+        ..RuntimeOptions::default()
     })
     .run(topo);
     let wall_s = started.elapsed().as_secs_f64();

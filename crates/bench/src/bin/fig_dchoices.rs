@@ -19,8 +19,11 @@
 //!    threshold, so equality is the worst case).
 //! 2. **Bounded imbalance where PKG blows up** — at `z = 2.0, W = 100`
 //!    (PKG's two candidates hold ≈ 30% of the stream) the D-Choices
-//!    average imbalance fraction stays ≤ `PKG_DCHOICES_EPS` (default
-//!    0.01), while PKG's exceeds it.
+//!    average imbalance over the final message count
+//!    (`avg_imbalance_over_final`, the quantity this gate was calibrated
+//!    against; the paper's per-snapshot `avg_fraction` is additionally
+//!    reported in the table) stays ≤ `PKG_DCHOICES_EPS` (default 0.01),
+//!    while PKG's exceeds it.
 //! 3. **Replication economy** — D-Choices average key replication is
 //!    strictly below W-Choices' at every point (the whole point of
 //!    adapting `d` instead of using all workers).
@@ -149,7 +152,7 @@ fn main() {
     let points = sweep(&zs, &ws, messages);
 
     let mut table = TextTable::new();
-    table.row(["z", "W", "scheme", "avg_frac", "final_frac", "rep_avg", "rep_max"]);
+    table.row(["z", "W", "scheme", "avg_frac", "avg_imb/m", "final_frac", "rep_avg", "rep_max"]);
     let mut tsv = String::from(SimReport::tsv_header());
     tsv.push('\n');
     for p in &points {
@@ -159,6 +162,7 @@ fn main() {
                 p.w.to_string(),
                 r.scheme.clone(),
                 format!("{:.5}", r.avg_fraction),
+                format!("{:.5}", r.avg_imbalance_over_final),
                 format!("{:.5}", r.final_fraction),
                 format!("{:.3}", rep_avg(r)),
                 rep_max(r).to_string(),
@@ -195,12 +199,13 @@ fn main() {
         .iter()
         .find(|p| (p.z - 2.0).abs() < 1e-9 && p.w == 100)
         .expect("grid contains z=2.0, W=100");
-    let bounded = blowup.dc.avg_fraction <= eps && blowup.pkg.avg_fraction > eps;
+    let bounded =
+        blowup.dc.avg_imbalance_over_final <= eps && blowup.pkg.avg_imbalance_over_final > eps;
     let _ = writeln!(
         out,
-        "check: at z=2.0 W=100, D-Choices fraction {:.5} ≤ {eps} < PKG fraction {:.5} .. {}",
-        blowup.dc.avg_fraction,
-        blowup.pkg.avg_fraction,
+        "check: at z=2.0 W=100, D-Choices avg_imbalance/m {:.5} ≤ {eps} < PKG {:.5} .. {}",
+        blowup.dc.avg_imbalance_over_final,
+        blowup.pkg.avg_imbalance_over_final,
         if bounded { "OK" } else { "FAIL" }
     );
     ok &= bounded;

@@ -7,7 +7,7 @@
 
 use std::process::Command;
 
-const DRIVERS: [&str; 14] = [
+const DRIVERS: [&str; 15] = [
     "table1",
     "table2",
     "fig2",
@@ -17,6 +17,7 @@ const DRIVERS: [&str; 14] = [
     "fig5b",
     "fig5_overhead",
     "fig_dchoices",
+    "fig_hetero",
     "theory_bounds",
     "ablation_d",
     "ablation_hot",

@@ -31,6 +31,7 @@
 //! [`HashFamily`]: pkg_hash::HashFamily
 
 use pkg_hash::{member_seed, StreamKey};
+use pkg_metrics::Capacities;
 
 use crate::estimator::Estimate;
 use crate::head_tracker::HeadTracker;
@@ -99,6 +100,9 @@ pub struct AdaptiveChoices {
     theta: f64,
     estimate: Estimate,
     tracker: HeadTracker,
+    /// Per-worker capacity weights: every argmin (tail greedy-2, head
+    /// sequence, W-Choices global) compares `L_i/c_i` when attached.
+    capacities: Option<Capacities>,
     /// Member seeds of the key hash sequence, `seeds[0..2]` identical to
     /// PKG's two-choice family under the same experiment seed.
     seeds: Vec<u64>,
@@ -123,8 +127,19 @@ impl AdaptiveChoices {
             theta,
             estimate,
             tracker: HeadTracker::for_threshold(theta.min(1.0)),
+            capacities: None,
             seeds: (0..n as u64).map(|i| member_seed(seed, i)).collect(),
         }
+    }
+
+    /// Route by capacity-normalized load `L_i/c_i` using these per-worker
+    /// weights (`None` = homogeneous; uniform weights collapse upstream).
+    pub fn with_capacities(mut self, capacities: Option<Capacities>) -> Self {
+        if let Some(c) = &capacities {
+            assert_eq!(c.len(), self.n, "one capacity per worker");
+        }
+        self.capacities = capacities;
+        self
     }
 
     /// D-Choices with the given imbalance target.
@@ -181,7 +196,7 @@ impl AdaptiveChoices {
         for i in 1..d {
             let c = self.choice(i, key);
             let l = self.estimate.load(c, ts_ms);
-            if l < best_load {
+            if pkg_metrics::prefers(self.capacities.as_ref(), l, c, best_load, best) {
                 best = c;
                 best_load = l;
             }
@@ -197,7 +212,7 @@ impl AdaptiveChoices {
         let mut best_load = self.estimate.load(0, ts_ms);
         for c in 1..self.n {
             let l = self.estimate.load(c, ts_ms);
-            if l < best_load {
+            if pkg_metrics::prefers(self.capacities.as_ref(), l, c, best_load, best) {
                 best = c;
                 best_load = l;
             }

@@ -20,17 +20,43 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use pkg_metrics::Capacities;
+
 /// The true worker loads, shared between the simulation (which maintains
 /// them) and any estimators that are allowed to read them.
+///
+/// On a heterogeneous cluster the loads additionally carry per-worker
+/// capacity weights ([`SharedLoads::with_capacities`]); scheme builders
+/// read them back via [`SharedLoads::capacities`] so every source routes by
+/// capacity-normalized load. Uniform weights collapse to `None` and the
+/// schemes keep their exact capacity-free code paths.
 #[derive(Debug, Clone, Default)]
 pub struct SharedLoads {
     loads: Arc<Vec<AtomicU64>>,
+    capacities: Option<Capacities>,
 }
 
 impl SharedLoads {
-    /// Zeroed shared loads for `n` workers.
+    /// Zeroed shared loads for `n` workers (homogeneous cluster).
     pub fn new(n: usize) -> Self {
-        Self { loads: Arc::new((0..n).map(|_| AtomicU64::new(0)).collect()) }
+        Self { loads: Arc::new((0..n).map(|_| AtomicU64::new(0)).collect()), capacities: None }
+    }
+
+    /// Attach per-worker capacity weights (one per worker; uniform weights
+    /// collapse — see [`Capacities::heterogeneous`]).
+    ///
+    /// # Panics
+    /// Panics if `capacities.len() != self.n()` or any weight is
+    /// non-finite or ≤ 0.
+    pub fn with_capacities(mut self, capacities: &[f64]) -> Self {
+        assert_eq!(capacities.len(), self.n(), "one capacity per worker");
+        self.capacities = Capacities::heterogeneous(capacities);
+        self
+    }
+
+    /// The capacity weights (`None` for a homogeneous cluster).
+    pub fn capacities(&self) -> Option<&Capacities> {
+        self.capacities.as_ref()
     }
 
     /// Number of workers.
@@ -238,6 +264,18 @@ mod tests {
         s.record(2);
         s.record(2);
         assert_eq!(s.snapshot(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn shared_loads_carry_capacities() {
+        let s = SharedLoads::new(3).with_capacities(&[4.0, 1.0, 1.0]);
+        let caps = s.capacities().expect("heterogeneous weights kept");
+        assert!((caps.weight(0) / caps.weight(1) - 4.0).abs() < 1e-12);
+        // Clones share the weights (sources must agree on them).
+        assert_eq!(s.clone().capacities(), Some(caps));
+        // Uniform weights collapse — the homogeneous fast path stays.
+        assert!(SharedLoads::new(3).with_capacities(&[2.0, 2.0, 2.0]).capacities().is_none());
+        assert!(SharedLoads::new(2).capacities().is_none());
     }
 
     #[test]

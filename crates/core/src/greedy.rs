@@ -15,6 +15,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use pkg_hash::{FxHashMap, HashFamily};
+use pkg_metrics::Capacities;
 
 use crate::estimator::Estimate;
 use crate::partitioner::{family, Partitioner};
@@ -72,6 +73,9 @@ pub struct OnlineGreedy {
     n: usize,
     estimate: Estimate,
     table: FxHashMap<u64, u32>,
+    /// Per-worker capacity weights: new keys go to the least
+    /// capacity-normalized worker when attached.
+    capacities: Option<Capacities>,
     /// Fallback hash for deterministic tie-breaking order of workers.
     _family: HashFamily,
 }
@@ -81,7 +85,23 @@ impl OnlineGreedy {
     pub fn new(n: usize, estimate: Estimate, seed: u64) -> Self {
         assert!(n > 0, "need at least one worker");
         assert_eq!(estimate.n(), n, "estimate must cover all workers");
-        Self { n, estimate, table: FxHashMap::default(), _family: family(1, seed) }
+        Self {
+            n,
+            estimate,
+            table: FxHashMap::default(),
+            capacities: None,
+            _family: family(1, seed),
+        }
+    }
+
+    /// Route by capacity-normalized load `L_i/c_i` using these per-worker
+    /// weights (`None` = homogeneous; uniform weights collapse upstream).
+    pub fn with_capacities(mut self, capacities: Option<Capacities>) -> Self {
+        if let Some(c) = &capacities {
+            assert_eq!(c.len(), self.n, "one capacity per worker");
+        }
+        self.capacities = capacities;
+        self
     }
 
     /// Number of routing-table entries.
@@ -100,7 +120,7 @@ impl Partitioner for OnlineGreedy {
                 let mut best_load = self.estimate.load(0, ts_ms);
                 for w in 1..self.n {
                     let l = self.estimate.load(w, ts_ms);
-                    if l < best_load {
+                    if pkg_metrics::prefers(self.capacities.as_ref(), l, w, best_load, best) {
                         best = w;
                         best_load = l;
                     }
@@ -146,6 +166,42 @@ impl OfflineGreedy {
             let Reverse((load, w)) = heap.pop().expect("n ≥ 1 workers in heap");
             table.insert(key, w);
             heap.push(Reverse((load + count, w)));
+        }
+        Self { n, table, fallback: family(1, seed) }
+    }
+
+    /// Heterogeneous LPT: each key (by decreasing frequency) goes to the
+    /// worker minimizing the *completion time* `(load + count)/c_w` — the
+    /// classic LPT rule on uniform machines. `capacities: None` is exactly
+    /// [`Self::new`].
+    pub fn weighted(
+        n: usize,
+        freqs: &KeyFrequencies,
+        seed: u64,
+        capacities: Option<&Capacities>,
+    ) -> Self {
+        let Some(caps) = capacities else {
+            return Self::new(n, freqs, seed);
+        };
+        assert!(n > 0, "need at least one worker");
+        assert_eq!(caps.len(), n, "one capacity per worker");
+        let mut table = FxHashMap::default();
+        table.reserve(freqs.distinct());
+        let mut loads = vec![0u64; n];
+        for (key, count) in freqs.sorted_desc() {
+            // Linear argmin (ties toward the lower index): the float keys
+            // rule out the integer min-heap of the homogeneous path.
+            let mut best = 0usize;
+            let mut best_cost = (loads[0] + count) as f64 / caps.weight(0);
+            for (w, &load) in loads.iter().enumerate().skip(1) {
+                let cost = (load + count) as f64 / caps.weight(w);
+                if cost < best_cost {
+                    best = w;
+                    best_cost = cost;
+                }
+            }
+            table.insert(key, best as u32);
+            loads[best] += count;
         }
         Self { n, table, fallback: family(1, seed) }
     }
@@ -246,6 +302,45 @@ mod tests {
         let mut loads = g.planned_loads(&f);
         loads.sort_unstable();
         assert_eq!(loads, vec![8, 10]);
+    }
+
+    #[test]
+    fn online_greedy_weighted_fills_fast_worker_first() {
+        // Worker 0 is 3×: with per-key unit loads, normalized loads are
+        // L_0/[1.8] vs L_{1,2}/[0.6] — the first three new keys land 0, 0, 1
+        // (after two keys worker 0 sits at 2/1.8 > 0/0.6).
+        let caps = Capacities::heterogeneous(&[3.0, 1.0, 1.0]);
+        let mut g = OnlineGreedy::new(3, Estimate::local(3), 2).with_capacities(caps);
+        let mut loads = [0u64; 3];
+        for key in 0..40u64 {
+            loads[g.route(key, 0)] += 1;
+        }
+        // 3× capacity absorbs ~3/5 of the 40 unit keys.
+        assert!((loads[0] as i64 - 24).unsigned_abs() <= 2, "loads = {loads:?}");
+        assert!(loads[1] > 0 && loads[2] > 0);
+    }
+
+    #[test]
+    fn offline_greedy_weighted_matches_unweighted_without_capacities() {
+        let f = KeyFrequencies::from_keys((0..30u64).flat_map(|k| std::iter::repeat_n(k, 3)));
+        let a = OfflineGreedy::new(4, &f, 1);
+        let b = OfflineGreedy::weighted(4, &f, 1, None);
+        for k in 0..30u64 {
+            assert_eq!(a.candidates(k), b.candidates(k));
+        }
+    }
+
+    #[test]
+    fn offline_greedy_weighted_loads_track_capacity() {
+        use pkg_metrics::weighted_imbalance;
+        // 120 unit keys over capacities 2:1:1 → planned loads ≈ 60/30/30.
+        let caps = Capacities::heterogeneous(&[2.0, 1.0, 1.0]).expect("het");
+        let f = KeyFrequencies::from_keys(0..120u64);
+        let g = OfflineGreedy::weighted(3, &f, 0, Some(&caps));
+        let loads = g.planned_loads(&f);
+        assert_eq!(loads.iter().sum::<u64>(), 120);
+        assert_eq!(loads[0], 60, "2× worker takes half the mass: {loads:?}");
+        assert!(weighted_imbalance(&loads, Some(&caps)) < 1.0);
     }
 
     #[test]

@@ -128,7 +128,11 @@ impl SchemeSpec {
     ///   sources built with the same seed agree on candidates);
     /// * `source_index` — used to stagger shuffle grouping's round-robin
     ///   start so parallel sources do not move in lockstep;
-    /// * `shared` — the true loads (read by Global/Probing estimates);
+    /// * `shared` — the true loads (read by Global/Probing estimates). On a
+    ///   heterogeneous cluster ([`SharedLoads::with_capacities`]) every
+    ///   load-consulting scheme routes by capacity-normalized load; with
+    ///   uniform (or no) weights routing is byte-identical to the
+    ///   capacity-free schemes;
     /// * `freqs` — key frequencies, required iff [`Self::needs_frequencies`].
     pub fn build(
         &self,
@@ -138,36 +142,44 @@ impl SchemeSpec {
         shared: &SharedLoads,
         freqs: Option<&KeyFrequencies>,
     ) -> Box<dyn Partitioner> {
+        let caps = shared.capacities().cloned();
         match self {
             SchemeSpec::KeyGrouping => Box::new(KeyGrouping::new(n, seed)),
             SchemeSpec::ShuffleGrouping => Box::new(ShuffleGrouping::with_offset(n, source_index)),
-            SchemeSpec::Pkg { d, estimate } => {
-                Box::new(PartialKeyGrouping::new(n, *d, estimate.build(n, shared), seed))
-            }
+            SchemeSpec::Pkg { d, estimate } => Box::new(
+                PartialKeyGrouping::new(n, *d, estimate.build(n, shared), seed)
+                    .with_capacities(caps),
+            ),
             SchemeSpec::StaticPotc { estimate } => {
-                Box::new(StaticPotc::new(n, estimate.build(n, shared), seed))
+                Box::new(StaticPotc::new(n, estimate.build(n, shared), seed).with_capacities(caps))
             }
-            SchemeSpec::OnGreedy { estimate } => {
-                Box::new(OnlineGreedy::new(n, estimate.build(n, shared), seed))
-            }
+            SchemeSpec::OnGreedy { estimate } => Box::new(
+                OnlineGreedy::new(n, estimate.build(n, shared), seed).with_capacities(caps),
+            ),
             SchemeSpec::OffGreedy => {
                 let freqs = freqs.expect("Off-Greedy requires key frequencies");
-                Box::new(OfflineGreedy::new(n, freqs, seed))
+                Box::new(OfflineGreedy::weighted(n, freqs, seed, caps.as_ref()))
             }
-            SchemeSpec::DChoices { estimate, epsilon } => Box::new(AdaptiveChoices::new(
-                n,
-                ChoiceStrategy::DChoices,
-                ChoiceConfig::new(*epsilon),
-                estimate.build(n, shared),
-                seed,
-            )),
-            SchemeSpec::WChoices { estimate, epsilon } => Box::new(AdaptiveChoices::new(
-                n,
-                ChoiceStrategy::WChoices,
-                ChoiceConfig::new(*epsilon),
-                estimate.build(n, shared),
-                seed,
-            )),
+            SchemeSpec::DChoices { estimate, epsilon } => Box::new(
+                AdaptiveChoices::new(
+                    n,
+                    ChoiceStrategy::DChoices,
+                    ChoiceConfig::new(*epsilon),
+                    estimate.build(n, shared),
+                    seed,
+                )
+                .with_capacities(caps),
+            ),
+            SchemeSpec::WChoices { estimate, epsilon } => Box::new(
+                AdaptiveChoices::new(
+                    n,
+                    ChoiceStrategy::WChoices,
+                    ChoiceConfig::new(*epsilon),
+                    estimate.build(n, shared),
+                    seed,
+                )
+                .with_capacities(caps),
+            ),
         }
     }
 }

@@ -19,6 +19,7 @@
 
 use pkg_hash::seeded::MAX_CHOICES;
 use pkg_hash::HashFamily;
+use pkg_metrics::Capacities;
 
 use crate::estimator::Estimate;
 use crate::partitioner::{family, Partitioner};
@@ -29,6 +30,11 @@ pub struct PartialKeyGrouping {
     family: HashFamily,
     n: usize,
     estimate: Estimate,
+    /// Per-worker capacity weights on heterogeneous clusters: the greedy
+    /// choice compares `L_i/c_i` instead of `L_i` ("Load Balancing for
+    /// Skewed Streams on Heterogeneous Clusters"). `None` — including
+    /// collapsed uniform weights — keeps the exact integer comparison.
+    capacities: Option<Capacities>,
     buf: [usize; MAX_CHOICES],
 }
 
@@ -38,7 +44,17 @@ impl PartialKeyGrouping {
     pub fn new(n: usize, d: usize, estimate: Estimate, seed: u64) -> Self {
         assert!(n > 0, "need at least one worker");
         assert_eq!(estimate.n(), n, "estimate must cover all workers");
-        Self { family: family(d, seed), n, estimate, buf: [0; MAX_CHOICES] }
+        Self { family: family(d, seed), n, estimate, capacities: None, buf: [0; MAX_CHOICES] }
+    }
+
+    /// Route by capacity-normalized load `L_i/c_i` using these per-worker
+    /// weights (`None` = homogeneous; uniform weights collapse upstream).
+    pub fn with_capacities(mut self, capacities: Option<Capacities>) -> Self {
+        if let Some(c) = &capacities {
+            assert_eq!(c.len(), self.n, "one capacity per worker");
+        }
+        self.capacities = capacities;
+        self
     }
 
     /// Number of choices `d`.
@@ -60,13 +76,14 @@ impl Partitioner for PartialKeyGrouping {
         for i in 0..d {
             self.buf[i] = self.family.choice(i, &key, self.n);
         }
-        // Pick the candidate with the smallest estimated load; ties break
-        // toward the earlier hash function (deterministic).
+        // Pick the candidate with the smallest estimated (capacity-
+        // normalized, when weights are attached) load; ties break toward
+        // the earlier hash function (deterministic).
         let mut best = self.buf[0];
         let mut best_load = self.estimate.load(best, ts_ms);
         for &c in &self.buf[1..d] {
             let l = self.estimate.load(c, ts_ms);
-            if l < best_load {
+            if pkg_metrics::prefers(self.capacities.as_ref(), l, c, best_load, best) {
                 best = c;
                 best_load = l;
             }
@@ -206,5 +223,32 @@ mod tests {
     #[should_panic(expected = "estimate must cover")]
     fn mismatched_estimate_size_panics() {
         let _ = PartialKeyGrouping::new(4, 2, Estimate::local(3), 0);
+    }
+
+    #[test]
+    fn weighted_routing_splits_hot_key_by_capacity() {
+        use pkg_metrics::Capacities;
+        let n = 10;
+        let probe = pkg(n, 2, 6);
+        let key = (0..100u64)
+            .find(|&k| {
+                let c = probe.candidates(k);
+                c[0] != c[1]
+            })
+            .expect("some key has distinct candidates");
+        let cands = probe.candidates(key);
+        // The first candidate is a 4× worker, everything else 1×.
+        let mut weights = vec![1.0; n];
+        weights[cands[0]] = 4.0;
+        let mut p = pkg(n, 2, 6).with_capacities(Capacities::heterogeneous(&weights));
+        let mut hits = vec![0u64; n];
+        for t in 0..10_000u64 {
+            hits[p.route(key, t)] += 1;
+        }
+        assert_eq!(hits[cands[0]] + hits[cands[1]], 10_000);
+        // Greedy on normalized load keeps L_fast/4 ≈ L_slow/1, i.e. the 4×
+        // candidate absorbs ~4/5 of the hot key's messages.
+        let share = hits[cands[0]] as f64 / 10_000.0;
+        assert!((share - 0.8).abs() < 0.02, "fast-candidate share = {share}");
     }
 }

@@ -10,6 +10,7 @@
 //! popularity is known.
 
 use pkg_hash::{FxHashMap, HashFamily};
+use pkg_metrics::Capacities;
 
 use crate::estimator::Estimate;
 use crate::partitioner::{family, Partitioner};
@@ -20,6 +21,9 @@ pub struct StaticPotc {
     family: HashFamily,
     n: usize,
     estimate: Estimate,
+    /// Per-worker capacity weights: first-sight placement compares
+    /// `L_i/c_i` when attached.
+    capacities: Option<Capacities>,
     table: FxHashMap<u64, u32>,
 }
 
@@ -29,7 +33,17 @@ impl StaticPotc {
     pub fn new(n: usize, estimate: Estimate, seed: u64) -> Self {
         assert!(n > 0, "need at least one worker");
         assert_eq!(estimate.n(), n, "estimate must cover all workers");
-        Self { family: family(2, seed), n, estimate, table: FxHashMap::default() }
+        Self { family: family(2, seed), n, estimate, capacities: None, table: FxHashMap::default() }
+    }
+
+    /// Route by capacity-normalized load `L_i/c_i` using these per-worker
+    /// weights (`None` = homogeneous; uniform weights collapse upstream).
+    pub fn with_capacities(mut self, capacities: Option<Capacities>) -> Self {
+        if let Some(c) = &capacities {
+            assert_eq!(c.len(), self.n, "one capacity per worker");
+        }
+        self.capacities = capacities;
+        self
     }
 
     /// Number of routing-table entries (the state the paper objects to:
@@ -47,7 +61,8 @@ impl Partitioner for StaticPotc {
             None => {
                 let c0 = self.family.choice(0, &key, self.n);
                 let c1 = self.family.choice(1, &key, self.n);
-                let w = if self.estimate.load(c1, ts_ms) < self.estimate.load(c0, ts_ms) {
+                let (l0, l1) = (self.estimate.load(c0, ts_ms), self.estimate.load(c1, ts_ms));
+                let w = if pkg_metrics::prefers(self.capacities.as_ref(), l1, c1, l0, c0) {
                     c1
                 } else {
                     c0

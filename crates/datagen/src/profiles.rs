@@ -202,9 +202,10 @@ impl DatasetProfile {
     /// knob of the D-Choices sweeps ("When Two Choices Are not Enough"
     /// studies z up to 2.2, far past any Table I dataset). The target `p1`
     /// is derived as `1 / H_{K,s}`; building the profile fits the exponent
-    /// back from it, recovering `s` to the fit tolerance.
+    /// back from it, recovering `s` to the fit tolerance. `s = 0` is the
+    /// uniform distribution (the skew-free edge of the `fig_hetero` grid).
     pub fn zipf_exponent(keys: u64, s: f64, messages: u64) -> Self {
-        assert!(keys >= 2 && s > 0.0);
+        assert!(keys >= 2 && s >= 0.0);
         Self {
             name: format!("Z{s:.1}"),
             messages,
@@ -312,6 +313,17 @@ mod tests {
         let (m, _, p1) = empirical_stats(&spec, 2);
         assert_eq!(m, 300_000);
         assert!((p1 - 0.0932).abs() < 0.01, "p1 = {p1}");
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let spec = DatasetProfile::zipf_exponent(1_000, 0.0, 50_000).build(3);
+        let (m, distinct, p1) = empirical_stats(&spec, 2);
+        assert_eq!(m, 50_000);
+        assert!(distinct > 950, "only {distinct} of 1000 keys seen");
+        // Uniform: the head key holds ≈ 1/1000 of the stream, not more
+        // than a few times that.
+        assert!(p1 < 0.004, "p1 = {p1} is not uniform");
     }
 
     #[test]

@@ -97,8 +97,14 @@ impl ZipfTable {
         Self { cdf, s }
     }
 
-    /// Build by fitting the exponent to a target head probability.
+    /// Build by fitting the exponent to a target head probability. A `p1`
+    /// at (or float-rounding-below) the uniform floor `1/k` degenerates to
+    /// the exponent-0 uniform distribution, matching the `z = 0` edge of
+    /// the heterogeneous-cluster sweeps.
     pub fn with_p1(k: u64, p1: f64) -> Self {
+        if p1 <= (1.0 + 1e-9) / k as f64 {
+            return Self::new(k, 0.0);
+        }
         Self::new(k, fit_exponent(k, p1))
     }
 

@@ -50,6 +50,16 @@ pub struct Emitter<'a> {
     /// executor realizes by re-arming the task on the timer wheel (the
     /// blocking executor sleeps inline and leaves this at 0).
     pub(crate) deferred_ns: u64,
+    /// Service-time multiplier from the instance's capacity weight
+    /// (`1/capacity`): a half-speed instance stalls twice as long per
+    /// charged tuple. 1.0 on homogeneous topologies.
+    pub(crate) stall_scale: f64,
+    /// Capacity-scaled service time charged through [`Emitter::stall`] so
+    /// far in this emitter's scope; executors accumulate it into
+    /// [`crate::metrics::InstanceStats::stalled_ns`]. Deterministic in the
+    /// requested durations (not wall-clock), so it is comparable across
+    /// executors.
+    pub(crate) stalled_ns: u64,
 }
 
 /// One outgoing edge of a running instance.
@@ -153,7 +163,10 @@ impl Emitter<'_> {
     }
 
     /// Emulate `d` of per-tuple service time (the paper's Q4 CPU-delay
-    /// knob).
+    /// knob). The requested duration is scaled by the instance's capacity
+    /// weight ([`crate::runtime::RuntimeOptions::capacities`]): a
+    /// half-speed instance is charged `2d` per call, so heterogeneous
+    /// hardware is emulated end to end.
     ///
     /// Under the thread-per-instance executor this sleeps inline — each
     /// instance owns a dedicated OS thread, so blocking it *is* the service
@@ -169,6 +182,12 @@ impl Emitter<'_> {
     /// callback) calling `stall` sleeps inline under the thread executor
     /// but is ignored under the pool.
     pub fn stall(&mut self, d: Duration) {
+        let d = if self.stall_scale == 1.0 {
+            d
+        } else {
+            Duration::from_nanos((d.as_nanos() as f64 * self.stall_scale) as u64)
+        };
+        self.stalled_ns = self.stalled_ns.saturating_add(d.as_nanos() as u64);
         match &self.sink {
             Sink::Blocking => std::thread::sleep(d),
             Sink::Pool { .. } => {
@@ -187,6 +206,8 @@ impl Emitter<'_> {
             now_ns: 1,
             emitted,
             deferred_ns: 0,
+            stall_scale: 1.0,
+            stalled_ns: 0,
         }
     }
 }

@@ -57,9 +57,11 @@ pub(crate) fn run_spout(
     mut spout: Box<dyn Spout>,
     mut edges: Vec<OutEdge>,
     epoch: Instant,
+    stall_scale: f64,
 ) -> InstanceStats {
     let mut processed = 0u64;
     let mut emitted = 0u64;
+    let mut stalled_ns = 0u64;
     while let Some(tuple) = spout.next() {
         processed += 1;
         let now_ns = epoch.elapsed().as_nanos() as u64;
@@ -71,8 +73,11 @@ pub(crate) fn run_spout(
             now_ns: now_ns.max(1),
             emitted: &mut emitted,
             deferred_ns: 0,
+            stall_scale,
+            stalled_ns: 0,
         };
         em.emit(tuple);
+        stalled_ns += em.stalled_ns;
     }
     send_eof(&mut edges);
     InstanceStats {
@@ -85,6 +90,7 @@ pub(crate) fn run_spout(
         max_state: 0,
         avg_state: 0.0,
         ticks: 0,
+        stalled_ns,
         activations: 1,
     }
 }
@@ -100,10 +106,12 @@ pub(crate) fn run_bolt(
     mut eof_remaining: usize,
     tick_every: Option<Duration>,
     epoch: Instant,
+    stall_scale: f64,
 ) -> InstanceStats {
     let mut processed = 0u64;
     let mut emitted = 0u64;
     let mut ticks = 0u64;
+    let mut stalled_ns = 0u64;
     let mut latency = LatencyHistogram::new(5);
     let mut sampler = StateSampler::default();
     let mut next_tick = tick_every.map(|p| Instant::now() + p);
@@ -126,8 +134,11 @@ pub(crate) fn run_bolt(
                         now_ns,
                         emitted: &mut emitted,
                         deferred_ns: 0,
+                        stall_scale,
+                        stalled_ns: 0,
                     };
                     bolt.tick(&mut em);
+                    stalled_ns += em.stalled_ns;
                     ticks += 1;
                     next_tick = Some(deadline + period);
                     continue;
@@ -154,8 +165,11 @@ pub(crate) fn run_bolt(
                     now_ns,
                     emitted: &mut emitted,
                     deferred_ns: 0,
+                    stall_scale,
+                    stalled_ns: 0,
                 };
                 bolt.execute(tuple, &mut em);
+                stalled_ns += em.stalled_ns;
                 processed += 1;
             }
             Packet::Eof => {
@@ -179,8 +193,11 @@ pub(crate) fn run_bolt(
             now_ns,
             emitted: &mut emitted,
             deferred_ns: 0,
+            stall_scale,
+            stalled_ns: 0,
         };
         bolt.finish(&mut em);
+        stalled_ns += em.stalled_ns;
     }
     send_eof(&mut edges);
 
@@ -194,6 +211,7 @@ pub(crate) fn run_bolt(
         max_state: sampler.max,
         avg_state: sampler.avg(),
         ticks,
+        stalled_ns,
         activations: 1,
     }
 }

@@ -50,7 +50,7 @@ pub mod tuple;
 pub mod prelude {
     pub use crate::bolt::{Bolt, CountingBolt, Emitter};
     pub use crate::grouping::Grouping;
-    pub use crate::runtime::{ExecutorMode, Runtime, RuntimeOptions};
+    pub use crate::runtime::{ExecutorMode, InstanceCapacities, Runtime, RuntimeOptions};
     pub use crate::spout::{spout_from_fn, spout_from_iter, Spout};
     pub use crate::topology::Topology;
     pub use crate::tuple::Tuple;
@@ -59,7 +59,7 @@ pub mod prelude {
 pub use bolt::{Bolt, Emitter};
 pub use grouping::Grouping;
 pub use metrics::{InstanceStats, RunStats};
-pub use runtime::{edge_seed, ExecutorMode, Runtime, RuntimeOptions};
+pub use runtime::{edge_seed, ExecutorMode, InstanceCapacities, Runtime, RuntimeOptions};
 pub use spout::Spout;
 pub use topology::Topology;
 pub use tuple::Tuple;

@@ -28,6 +28,12 @@ pub struct InstanceStats {
     pub avg_state: f64,
     /// Number of ticks fired.
     pub ticks: u64,
+    /// Emulated service time charged via [`crate::bolt::Emitter::stall`],
+    /// in nanoseconds, *after* capacity scaling
+    /// ([`crate::runtime::RuntimeOptions::capacities`]). Deterministic in
+    /// the requested durations, so a half-speed instance reports exactly
+    /// twice the stall of a full-speed one under either executor.
+    pub stalled_ns: u64,
     /// Scheduler activations that drove this instance. Under the pool
     /// executor this counts how often a worker picked the task up (the
     /// batching quantum's amortization denominator); under
@@ -83,6 +89,19 @@ impl RunStats {
     /// [`InstanceStats::activations`]).
     pub fn activations(&self, component: &str) -> u64 {
         self.instances.iter().filter(|i| i.component == component).map(|i| i.activations).sum()
+    }
+
+    /// Per-instance charged service time of a component, in nanoseconds,
+    /// sorted by instance index (see [`InstanceStats::stalled_ns`]).
+    pub fn stalled_ns(&self, component: &str) -> Vec<u64> {
+        let mut v: Vec<(usize, u64)> = self
+            .instances
+            .iter()
+            .filter(|i| i.component == component)
+            .map(|i| (i.instance, i.stalled_ns))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, s)| s).collect()
     }
 
     /// Merged latency histogram of a component.

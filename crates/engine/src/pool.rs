@@ -124,6 +124,9 @@ struct TaskBody {
     emitted: u64,
     ticks: u64,
     activations: u64,
+    /// Service-time multiplier `1/capacity` of this instance.
+    stall_scale: f64,
+    stalled_ns: u64,
     latency: LatencyHistogram,
     sampler: StateSampler,
     final_state: usize,
@@ -141,6 +144,7 @@ impl TaskBody {
             max_state: self.sampler.max,
             avg_state: self.sampler.avg(),
             ticks: self.ticks,
+            stalled_ns: self.stalled_ns,
             activations: self.activations,
         }
     }
@@ -348,11 +352,14 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
         processed,
         emitted,
         ticks,
+        stall_scale,
+        stalled_ns,
         latency,
         sampler,
         final_state,
         ..
     } = body;
+    let stall_scale = *stall_scale;
     match kind {
         TaskKind::Spout { spout, exhausted } => {
             if !*exhausted {
@@ -368,6 +375,8 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                                 now_ns,
                                 emitted,
                                 deferred_ns: 0,
+                                stall_scale,
+                                stalled_ns: 0,
                             };
                             em.emit(tuple);
                             if !outbox.is_empty() {
@@ -408,8 +417,11 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                         now_ns,
                         emitted,
                         deferred_ns: 0,
+                        stall_scale,
+                        stalled_ns: 0,
                     };
                     bolt.tick(&mut em);
+                    *stalled_ns += em.stalled_ns;
                     *ticks += 1;
                     *next_tick_ns += period;
                     fired = true;
@@ -442,9 +454,12 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                             now_ns,
                             emitted,
                             deferred_ns: 0,
+                            stall_scale,
+                            stalled_ns: 0,
                         };
                         bolt.execute(tuple, &mut em);
                         let stall_ns = em.deferred_ns;
+                        *stalled_ns += em.stalled_ns;
                         *processed += 1;
                         let blocked = !outbox.is_empty() && !deliver_outbox(shared, tid, outbox);
                         if stall_ns > 0 {
@@ -476,8 +491,11 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                                 now_ns,
                                 emitted,
                                 deferred_ns: 0,
+                                stall_scale,
+                                stalled_ns: 0,
                             };
                             bolt.finish(&mut em);
+                            *stalled_ns += em.stalled_ns;
                             queue_eofs(edges, outbox);
                             if !deliver_outbox(shared, tid, outbox) {
                                 return Outcome::Park;
@@ -633,6 +651,7 @@ pub(crate) fn run_pool(
     seed: u64,
     workers: usize,
     batch: usize,
+    capacities: &crate::runtime::InstanceCapacities,
 ) -> RunStats {
     // Pool mailboxes are asynchronous queues with no rendezvous mode: a
     // capacity-0 mailbox could never accept a packet and every producer
@@ -713,6 +732,8 @@ pub(crate) fn run_pool(
                     emitted: 0,
                     ticks: 0,
                     activations: 0,
+                    stall_scale: capacities.stall_scale(&c.name, i),
+                    stalled_ns: 0,
                     latency: LatencyHistogram::new(5),
                     sampler: StateSampler::default(),
                     final_state: 0,

@@ -59,8 +59,58 @@ impl ExecutorMode {
     }
 }
 
+/// Per-instance relative capacity weights for heterogeneous deployments,
+/// keyed by component name. A weight of `0.5` makes that instance
+/// half-speed: every [`crate::bolt::Emitter::stall`] it charges (directly
+/// or through `pkg_agg::ServiceDelay`) is scaled by `1/capacity`, so the
+/// same per-tuple work takes twice as long — inline under the
+/// thread-per-instance executor, on the timer wheel under the pool.
+///
+/// Instances not covered (unlisted components, or indices past the weight
+/// vector) run at capacity 1.0.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InstanceCapacities {
+    by_component: Vec<(String, Vec<f64>)>,
+}
+
+impl InstanceCapacities {
+    /// Every instance at capacity 1.0 (the homogeneous default).
+    pub fn uniform() -> Self {
+        Self::default()
+    }
+
+    /// Set per-instance weights for one component (`weights[i]` is instance
+    /// `i`'s relative capacity; missing trailing instances default to 1.0).
+    ///
+    /// # Panics
+    /// Panics if any weight is non-finite or ≤ 0.
+    pub fn with(mut self, component: impl Into<String>, weights: &[f64]) -> Self {
+        for &w in weights {
+            assert!(w.is_finite() && w > 0.0, "capacities must be finite and positive, got {w}");
+        }
+        let component = component.into();
+        self.by_component.retain(|(c, _)| *c != component);
+        self.by_component.push((component, weights.to_vec()));
+        self
+    }
+
+    /// Relative capacity of `instance` of `component` (default 1.0).
+    pub fn weight(&self, component: &str, instance: usize) -> f64 {
+        self.by_component
+            .iter()
+            .find(|(c, _)| c == component)
+            .and_then(|(_, ws)| ws.get(instance).copied())
+            .unwrap_or(1.0)
+    }
+
+    /// The service-time multiplier `1/capacity` for one instance.
+    pub(crate) fn stall_scale(&self, component: &str, instance: usize) -> f64 {
+        1.0 / self.weight(component, instance)
+    }
+}
+
 /// Engine tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeOptions {
     /// Capacity of each instance's input queue. Small values propagate
     /// backpressure quickly (an overloaded worker stalls its sources — the
@@ -73,6 +123,9 @@ pub struct RuntimeOptions {
     /// [`ExecutorMode::ThreadPerInstance`]), so the executor under test is
     /// switchable process-wide.
     pub executor: ExecutorMode,
+    /// Per-instance capacity weights (heterogeneous hardware emulation);
+    /// both executors apply them by scaling emulated service time.
+    pub capacities: InstanceCapacities,
 }
 
 impl Default for RuntimeOptions {
@@ -81,6 +134,7 @@ impl Default for RuntimeOptions {
             channel_capacity: 1_024,
             seed: 42,
             executor: ExecutorMode::from_env().unwrap_or(ExecutorMode::ThreadPerInstance),
+            capacities: InstanceCapacities::uniform(),
         }
     }
 }
@@ -118,7 +172,7 @@ pub(crate) fn upstream_sender_counts(topology: &Topology) -> Vec<usize> {
 }
 
 /// Executes topologies.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct Runtime {
     opts: RuntimeOptions,
 }
@@ -150,6 +204,7 @@ impl Runtime {
                     workers
                 },
                 if batch == 0 { crate::pool::DEFAULT_BATCH } else { batch },
+                &self.opts.capacities,
             ),
         }
     }
@@ -219,11 +274,12 @@ impl Runtime {
                     .collect();
                 let name = c.name.clone();
                 let stats_tx = stats_tx.clone();
+                let stall_scale = self.opts.capacities.stall_scale(&c.name, i);
                 match &c.kind {
                     ComponentKind::Spout(factory) => {
                         let spout = factory(i);
                         handles.push(std::thread::spawn(move || {
-                            let s = run_spout(name, i, spout, edges, epoch);
+                            let s = run_spout(name, i, spout, edges, epoch, stall_scale);
                             stats_tx.send(s).expect("stats channel outlives executors");
                         }));
                     }
@@ -233,7 +289,8 @@ impl Runtime {
                         let eof = upstream_senders[ci];
                         let tick = c.tick_every;
                         handles.push(std::thread::spawn(move || {
-                            let s = run_bolt(name, i, bolt, rx, edges, eof, tick, epoch);
+                            let s =
+                                run_bolt(name, i, bolt, rx, edges, eof, tick, epoch, stall_scale);
                             stats_tx.send(s).expect("stats channel outlives executors");
                         }));
                     }
@@ -453,7 +510,12 @@ mod tests {
         channel_capacity: usize,
         seed: u64,
     ) -> RuntimeOptions {
-        RuntimeOptions { channel_capacity, seed, executor: ExecutorMode::Pool { workers, batch } }
+        RuntimeOptions {
+            channel_capacity,
+            seed,
+            executor: ExecutorMode::Pool { workers, batch },
+            ..RuntimeOptions::default()
+        }
     }
 
     #[test]
@@ -470,6 +532,7 @@ mod tests {
             channel_capacity: 64,
             seed: 7,
             executor: ExecutorMode::ThreadPerInstance,
+            ..RuntimeOptions::default()
         })
         .run(build());
         let pool = Runtime::with_options(pool_opts(2, 0, 64, 7)).run(build());
@@ -699,12 +762,87 @@ mod tests {
             channel_capacity: 16,
             seed: 2,
             executor: ExecutorMode::ThreadPerInstance,
+            ..RuntimeOptions::default()
         })
         .run(t);
         assert_eq!(stats.processed("stall"), 40);
         // 4 dedicated threads × 10 tuples × 1 ms: at least ~10 ms of real
         // sleeping happened somewhere (inline semantics preserved).
         assert!(stats.wall >= Duration::from_millis(8), "wall = {:?}", stats.wall);
+    }
+
+    #[test]
+    fn capacity_weights_scale_stall_deterministically_on_both_executors() {
+        // One spout shuffles 40 tuples over two stalling instances (20
+        // each); instance 1 is a quarter-speed machine. The *charged*
+        // service time is deterministic in the requested durations, so the
+        // slow instance must report exactly 4× the stall of the fast one —
+        // under either executor.
+        let caps = InstanceCapacities::uniform().with("stall", &[1.0, 0.25]);
+        let build = || {
+            let mut t = Topology::new();
+            let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(40, 7)));
+            let _ = t
+                .add_bolt("stall", 2, |_| {
+                    Box::new(StallBolt { per_tuple: Duration::from_millis(1), seen: 0 })
+                })
+                .input(s, Grouping::Shuffle);
+            t
+        };
+        for executor in
+            [ExecutorMode::ThreadPerInstance, ExecutorMode::Pool { workers: 2, batch: 16 }]
+        {
+            let stats = Runtime::with_options(RuntimeOptions {
+                channel_capacity: 64,
+                seed: 3,
+                executor,
+                capacities: caps.clone(),
+            })
+            .run(build());
+            assert_eq!(stats.processed("stall"), 40);
+            let stalled = stats.stalled_ns("stall");
+            assert_eq!(stalled[0], 20 * 1_000_000, "full-speed instance charges 20 × 1 ms");
+            assert_eq!(stalled[1], 4 * stalled[0], "quarter-speed instance charges 4×");
+        }
+    }
+
+    #[test]
+    fn pool_half_speed_instance_actually_runs_half_speed() {
+        // A single half-capacity instance owing 10 × 5 ms of service time
+        // must keep the topology alive for ≥ the scaled 100 ms — the
+        // timer-wheel deadline is armed with the scaled duration, so this
+        // is a hard lower bound (a full-speed run owes only 50 ms).
+        let mut t = Topology::new();
+        let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(10, 5)));
+        let _ = t
+            .add_bolt("stall", 1, |_| {
+                Box::new(StallBolt { per_tuple: Duration::from_millis(5), seen: 0 })
+            })
+            .input(s, Grouping::Global);
+        let stats = Runtime::with_options(RuntimeOptions {
+            channel_capacity: 64,
+            seed: 9,
+            executor: ExecutorMode::Pool { workers: 2, batch: 4 },
+            capacities: InstanceCapacities::uniform().with("stall", &[0.5]),
+        })
+        .run(t);
+        assert_eq!(stats.processed("stall"), 10);
+        assert!(
+            stats.wall >= Duration::from_millis(80),
+            "half-speed instance finished too fast: wall = {:?} < 10 × 10 ms",
+            stats.wall
+        );
+    }
+
+    #[test]
+    fn uncovered_instances_default_to_full_capacity() {
+        let caps = InstanceCapacities::uniform().with("stall", &[2.0]);
+        assert_eq!(caps.weight("stall", 0), 2.0);
+        assert_eq!(caps.weight("stall", 1), 1.0, "index past the vector");
+        assert_eq!(caps.weight("other", 0), 1.0, "unlisted component");
+        // Re-setting a component replaces its weights.
+        let caps = caps.with("stall", &[4.0]);
+        assert_eq!(caps.weight("stall", 0), 4.0);
     }
 
     #[test]

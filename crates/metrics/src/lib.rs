@@ -17,7 +17,14 @@
 //!
 //! [`welford::Welford`] provides numerically stable running mean/variance
 //! used by several experiment drivers.
+//!
+//! For heterogeneous clusters, [`capacity::Capacities`] carries per-worker
+//! capacity weights and the `weighted_*` accessors measure imbalance
+//! relative to what each worker can absorb (`max_i L_i/c_i − avg`); with
+//! uniform capacities every weighted quantity degenerates exactly to its
+//! unweighted counterpart.
 
+pub mod capacity;
 pub mod histogram;
 pub mod imbalance;
 pub mod load;
@@ -25,6 +32,7 @@ pub mod throughput;
 pub mod timeseries;
 pub mod welford;
 
+pub use capacity::{prefers, weighted_imbalance, weighted_imbalance_fraction, Capacities};
 pub use histogram::LatencyHistogram;
 pub use imbalance::{imbalance, imbalance_fraction, worst_case_imbalance};
 pub use load::LoadVector;

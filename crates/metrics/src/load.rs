@@ -1,16 +1,24 @@
 //! Per-worker load accounting.
 
+use crate::capacity::Capacities;
+
 /// The load vector `L(t)` of a set of workers: `L_i(t)` counts the messages
 /// handled by worker `i` up to the current point of the stream (§II of the
 /// paper, the same definition used by Flux).
 ///
 /// The maximum is tracked incrementally so that the imbalance can be read in
 /// O(1) on the routing hot path; the average is `total / n`.
+///
+/// [`LoadVector::with_capacities`] attaches per-worker capacity weights for
+/// heterogeneous clusters; the `weighted_*` accessors then measure load
+/// relative to what each worker can absorb (uniform capacities collapse and
+/// every weighted accessor equals its unweighted counterpart exactly).
 #[derive(Debug, Clone)]
 pub struct LoadVector {
     loads: Vec<u64>,
     total: u64,
     max: u64,
+    capacities: Option<Capacities>,
 }
 
 impl LoadVector {
@@ -20,7 +28,26 @@ impl LoadVector {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one worker");
-        Self { loads: vec![0; n], total: 0, max: 0 }
+        Self { loads: vec![0; n], total: 0, max: 0, capacities: None }
+    }
+
+    /// Attach per-worker capacity weights (one per worker). Uniform weights
+    /// collapse to the capacity-free representation, so the weighted
+    /// accessors degenerate exactly to the unweighted ones.
+    ///
+    /// # Panics
+    /// Panics if `capacities.len() != self.len()` or any weight is
+    /// non-finite or ≤ 0.
+    pub fn with_capacities(mut self, capacities: &[f64]) -> Self {
+        assert_eq!(capacities.len(), self.loads.len(), "one capacity per worker");
+        self.capacities = Capacities::heterogeneous(capacities);
+        self
+    }
+
+    /// The attached capacity weights (`None` for a homogeneous cluster,
+    /// including explicitly-uniform ones, which collapse at construction).
+    pub fn capacities(&self) -> Option<&Capacities> {
+        self.capacities.as_ref()
     }
 
     /// Number of workers.
@@ -93,6 +120,36 @@ impl LoadVector {
         }
     }
 
+    /// The capacity-weighted imbalance `I_c(t) = max_i(L_i/c_i) − avg`
+    /// (weights normalized to mean 1, so the subtracted average `total/n`
+    /// is the ideal normalized load — see
+    /// [`crate::capacity::weighted_imbalance`]). Equals [`Self::imbalance`]
+    /// exactly when no heterogeneous capacities are attached.
+    pub fn weighted_imbalance(&self) -> f64 {
+        match &self.capacities {
+            None => self.imbalance(),
+            Some(caps) => {
+                let max = self
+                    .loads
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &l)| caps.normalized(l, w))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                max - self.avg()
+            }
+        }
+    }
+
+    /// [`Self::weighted_imbalance`] divided by total messages; 0 when no
+    /// messages have been recorded.
+    pub fn weighted_imbalance_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.weighted_imbalance() / self.total as f64
+        }
+    }
+
     /// Immutable view of the raw per-worker loads.
     #[inline]
     pub fn loads(&self) -> &[u64] {
@@ -117,6 +174,25 @@ impl LoadVector {
         for &c in &candidates[1..] {
             let l = self.loads[c];
             if l < best_load {
+                best = c;
+                best_load = l;
+            }
+        }
+        best
+    }
+
+    /// Index of the least *capacity-normalized* load among `candidates`
+    /// (ties toward the earlier candidate). Identical to
+    /// [`Self::argmin_of`] — decision by decision — when no heterogeneous
+    /// capacities are attached.
+    #[inline]
+    pub fn weighted_argmin_of(&self, candidates: &[usize]) -> usize {
+        debug_assert!(!candidates.is_empty());
+        let mut best = candidates[0];
+        let mut best_load = self.loads[best];
+        for &c in &candidates[1..] {
+            let l = self.loads[c];
+            if crate::capacity::prefers(self.capacities.as_ref(), l, c, best_load, best) {
                 best = c;
                 best_load = l;
             }
@@ -182,5 +258,52 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = LoadVector::new(0);
+    }
+
+    #[test]
+    fn uniform_capacities_collapse_and_match_unweighted() {
+        let mut lv = LoadVector::new(4).with_capacities(&[3.0, 3.0, 3.0, 3.0]);
+        assert!(lv.capacities().is_none(), "uniform capacities must collapse");
+        lv.record(0, 3);
+        lv.record(1, 5);
+        assert_eq!(lv.weighted_imbalance(), lv.imbalance());
+        assert_eq!(lv.weighted_imbalance_fraction(), lv.imbalance_fraction());
+        assert_eq!(lv.weighted_argmin_of(&[0, 1, 2]), lv.argmin_of(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn weighted_imbalance_sees_slow_worker_overload() {
+        // Worker 1 is half-speed; equal raw loads are NOT balanced.
+        let mut lv = LoadVector::new(2).with_capacities(&[2.0, 1.0]);
+        lv.record(0, 100);
+        lv.record(1, 100);
+        assert_eq!(lv.imbalance(), 0.0, "raw loads are equal");
+        // Normalized weights [4/3, 2/3]: max(100/(4/3), 100/(2/3)) − 100.
+        assert!((lv.weighted_imbalance() - 50.0).abs() < 1e-9);
+        assert!(lv.weighted_imbalance_fraction() > 0.0);
+    }
+
+    #[test]
+    fn weighted_argmin_prefers_fast_worker() {
+        let mut lv = LoadVector::new(3).with_capacities(&[4.0, 1.0, 1.0]);
+        // Raw loads: worker 0 has 12, worker 1 has 6. Normalized (weights
+        // [2, 0.5, 0.5]): 12/2 = 6 vs 6/0.5 = 12 — the 4× worker wins
+        // despite the higher raw load.
+        lv.record(0, 12);
+        lv.record(1, 6);
+        assert_eq!(lv.argmin_of(&[0, 1]), 1);
+        assert_eq!(lv.weighted_argmin_of(&[0, 1]), 0);
+        // Equal normalized loads tie toward the earlier candidate.
+        let mut tie = LoadVector::new(2).with_capacities(&[2.0, 1.0]);
+        tie.record(0, 8);
+        tie.record(1, 4);
+        assert_eq!(tie.weighted_argmin_of(&[0, 1]), 0);
+        assert_eq!(tie.weighted_argmin_of(&[1, 0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per worker")]
+    fn mismatched_capacities_panic() {
+        let _ = LoadVector::new(3).with_capacities(&[1.0, 2.0]);
     }
 }

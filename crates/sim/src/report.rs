@@ -65,11 +65,29 @@ pub struct SimReport {
     pub avg_imbalance: f64,
     /// `I(m)` at end of stream.
     pub final_imbalance: f64,
-    /// `avg_imbalance / messages` — the "fraction of average imbalance with
-    /// respect to the total number of messages" (Fig. 2/4 y-axis).
+    /// Mean of the per-snapshot fractions `I(t)/m(t)` — the paper's
+    /// "average fraction of imbalance" (Fig. 2/4 y-axis).
     pub avg_fraction: f64,
+    /// `avg_imbalance / messages` — mean imbalance normalized by the
+    /// *final* message count. This is what `avg_fraction` used to
+    /// (incorrectly) report; kept under its honest name because it is a
+    /// smooth, final-m-normalized summary some sweeps still like. It lower-
+    /// bounds `avg_fraction` (each snapshot has `m(t) ≤ m`).
+    pub avg_imbalance_over_final: f64,
     /// `final_imbalance / messages`.
     pub final_fraction: f64,
+    /// Mean of the capacity-weighted imbalance `I_c(t) = max_i(L_i/c_i) −
+    /// avg` over the snapshot schedule. Equals `avg_imbalance` on a
+    /// homogeneous cluster (no or uniform capacities).
+    pub avg_weighted_imbalance: f64,
+    /// `I_c(m)` at end of stream.
+    pub final_weighted_imbalance: f64,
+    /// Mean of the per-snapshot weighted fractions `I_c(t)/m(t)`.
+    pub avg_weighted_fraction: f64,
+    /// `final_weighted_imbalance / messages`.
+    pub final_weighted_fraction: f64,
+    /// The configured per-worker capacity weights, when any.
+    pub capacities: Option<Vec<f64>>,
     /// `(hours, I(t)/m(t))` through time (Fig. 3).
     pub series: TimeSeries,
     /// Final per-worker loads.
@@ -85,12 +103,16 @@ pub struct SimReport {
 impl SimReport {
     /// Header for [`Self::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "dataset\tscheme\tworkers\tsources\tmessages\tavg_imbalance\tfinal_imbalance\tavg_fraction\tfinal_fraction\tavg_replication\ttotal_pairs\tagg_period_ms\tmerge_msgs\tmerge_fraction\tavg_worker_window\tavg_agg_keys\tstaleness_ms"
+        "dataset\tscheme\tworkers\tsources\tmessages\tavg_imbalance\tfinal_imbalance\tavg_fraction\tfinal_fraction\tavg_wimbalance\tfinal_wimbalance\tavg_wfraction\tfinal_wfraction\tcapacities\tavg_replication\ttotal_pairs\tagg_period_ms\tmerge_msgs\tmerge_fraction\tavg_worker_window\tavg_agg_keys\tstaleness_ms"
     }
 
-    /// One tab-separated row (replication and aggregation columns empty
-    /// when not tracked).
+    /// One tab-separated row (capacity, replication and aggregation columns
+    /// empty when not configured/tracked).
     pub fn tsv_row(&self) -> String {
+        let caps = match &self.capacities {
+            Some(c) => c.iter().map(|w| format!("{w}")).collect::<Vec<_>>().join(","),
+            None => String::new(),
+        };
         let (avg_rep, pairs) = match &self.replication {
             Some(r) => (format!("{:.4}", r.avg), r.total_pairs.to_string()),
             None => (String::new(), String::new()),
@@ -108,7 +130,7 @@ impl SimReport {
             None => "\t\t\t\t\t".to_string(),
         };
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{}\t{}\t{}\t{}",
             self.dataset,
             self.scheme,
             self.workers,
@@ -118,6 +140,11 @@ impl SimReport {
             self.final_imbalance,
             self.avg_fraction,
             self.final_fraction,
+            self.avg_weighted_imbalance,
+            self.final_weighted_imbalance,
+            self.avg_weighted_fraction,
+            self.final_weighted_fraction,
+            caps,
             avg_rep,
             pairs,
             agg

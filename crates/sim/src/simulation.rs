@@ -38,6 +38,18 @@ pub struct SimConfig {
     /// stream-time milliseconds (§V-D): per-worker tumbling windows whose
     /// flushes feed a downstream aggregator. `None` skips the modeling.
     pub aggregation_period_ms: Option<u64>,
+    /// Per-worker capacity weights for a heterogeneous cluster (one per
+    /// worker). When set, the report's weighted-imbalance columns measure
+    /// load relative to capacity, and — unless
+    /// [`Self::capacity_blind_routing`] — the schemes route by
+    /// capacity-normalized load. Uniform weights degenerate exactly to the
+    /// unweighted simulation.
+    pub capacities: Option<Vec<f64>>,
+    /// Keep the schemes routing on *raw* loads even when `capacities` is
+    /// set (the report still measures weighted imbalance). This is the
+    /// "unweighted PKG on a heterogeneous cluster" baseline of
+    /// `fig_hetero`.
+    pub capacity_blind_routing: bool,
 }
 
 impl SimConfig {
@@ -54,6 +66,8 @@ impl SimConfig {
             snapshots: 1_000,
             track_replication: false,
             aggregation_period_ms: None,
+            capacities: None,
+            capacity_blind_routing: false,
         }
     }
 
@@ -82,6 +96,20 @@ impl SimConfig {
         self
     }
 
+    /// Builder: per-worker capacity weights (heterogeneous cluster).
+    pub fn with_capacities(mut self, capacities: &[f64]) -> Self {
+        assert_eq!(capacities.len(), self.workers, "one capacity per worker");
+        self.capacities = Some(capacities.to_vec());
+        self
+    }
+
+    /// Builder: measure weighted imbalance but route on raw loads (the
+    /// capacity-blind baseline).
+    pub fn with_capacity_blind_routing(mut self) -> Self {
+        self.capacity_blind_routing = true;
+        self
+    }
+
     /// Builder: snapshot count.
     pub fn with_snapshots(mut self, snapshots: u64) -> Self {
         self.snapshots = snapshots.max(2);
@@ -100,7 +128,13 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
     let started = Instant::now();
     assert!(cfg.workers > 0 && cfg.sources > 0);
 
-    let shared = SharedLoads::new(cfg.workers);
+    // Routing sees the capacity weights through SharedLoads (every scheme
+    // built from it routes by normalized load) unless the config asks for
+    // the capacity-blind baseline.
+    let shared = match (&cfg.capacities, cfg.capacity_blind_routing) {
+        (Some(caps), false) => SharedLoads::new(cfg.workers).with_capacities(caps),
+        _ => SharedLoads::new(cfg.workers),
+    };
     let freqs = if cfg.scheme.needs_frequencies() {
         Some(frequencies(spec, cfg.stream_seed))
     } else {
@@ -113,9 +147,21 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         .collect();
     let mut assigner = SourceAssigner::new(cfg.assignment, cfg.sources, cfg.seed);
 
-    let mut loads = LoadVector::new(cfg.workers);
+    // Measurement always carries the weights when configured — also for
+    // blind routing, so the two fig_hetero arms are compared on one metric.
+    let mut loads = match &cfg.capacities {
+        Some(caps) => LoadVector::new(cfg.workers).with_capacities(caps),
+        None => LoadVector::new(cfg.workers),
+    };
     let mut series = TimeSeries::new(2_048);
     let mut avg_imb = Welford::new();
+    // The paper's "average fraction of imbalance" is the mean of the
+    // per-snapshot fractions I(t)/m(t) — NOT mean(I(t))/m(final), which a
+    // previous revision reported (that quantity survives as
+    // `avg_imbalance_over_final`).
+    let mut avg_frac = Welford::new();
+    let mut avg_wimb = Welford::new();
+    let mut avg_wfrac = Welford::new();
     let mut tracker = cfg.track_replication.then(ReplicationTracker::new);
     let mut aggsim =
         cfg.aggregation_period_ms.map(|period| AggregationSim::new(cfg.workers, period));
@@ -123,6 +169,14 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
     let total = spec.messages();
     let snap_every = (total / cfg.snapshots).max(1);
     let mut until_snap = snap_every;
+
+    let mut snapshot = |loads: &LoadVector, hours: f64| {
+        avg_imb.add(loads.imbalance());
+        avg_frac.add(loads.imbalance_fraction());
+        avg_wimb.add(loads.weighted_imbalance());
+        avg_wfrac.add(loads.weighted_imbalance_fraction());
+        series.push(hours, loads.imbalance_fraction());
+    };
 
     for msg in spec.iter(cfg.stream_seed) {
         let s = assigner.assign(&msg);
@@ -139,20 +193,16 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         until_snap -= 1;
         if until_snap == 0 {
             until_snap = snap_every;
-            let imb = loads.imbalance();
-            avg_imb.add(imb);
-            let hours = msg.ts_ms as f64 / 3_600_000.0;
-            series.push(hours, imb / loads.total() as f64);
+            snapshot(&loads, msg.ts_ms as f64 / 3_600_000.0);
         }
     }
 
     // Final snapshot, in case the stream length was not a multiple of the
     // snapshot stride.
     let final_imbalance = loads.imbalance();
+    let final_weighted_imbalance = loads.weighted_imbalance();
     if until_snap != snap_every {
-        avg_imb.add(final_imbalance);
-        let hours = spec.duration_ms() as f64 / 3_600_000.0;
-        series.push(hours, loads.imbalance_fraction());
+        snapshot(&loads, spec.duration_ms() as f64 / 3_600_000.0);
     }
 
     let messages = loads.total();
@@ -171,8 +221,22 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         messages,
         avg_imbalance: avg_imb.mean(),
         final_imbalance,
-        avg_fraction: if messages == 0 { 0.0 } else { avg_imb.mean() / messages as f64 },
+        avg_fraction: avg_frac.mean(),
+        avg_imbalance_over_final: if messages == 0 {
+            0.0
+        } else {
+            avg_imb.mean() / messages as f64
+        },
         final_fraction: if messages == 0 { 0.0 } else { final_imbalance / messages as f64 },
+        avg_weighted_imbalance: avg_wimb.mean(),
+        final_weighted_imbalance,
+        avg_weighted_fraction: avg_wfrac.mean(),
+        final_weighted_fraction: if messages == 0 {
+            0.0
+        } else {
+            final_weighted_imbalance / messages as f64
+        },
+        capacities: cfg.capacities.clone(),
         series,
         worker_loads: loads.loads().to_vec(),
         replication,
@@ -309,6 +373,65 @@ mod tests {
         let wc = run(&spec, &SimConfig::new(5, 2, SchemeSpec::w_choices(EstimateKind::Local)));
         assert_eq!(pkg.worker_loads, dc.worker_loads);
         assert_eq!(pkg.worker_loads, wc.worker_loads);
+    }
+
+    #[test]
+    fn avg_fraction_is_mean_of_snapshot_fractions() {
+        let spec = small_spec();
+        let r = run(&spec, &SimConfig::new(5, 2, SchemeSpec::KeyGrouping));
+        // Every snapshot has m(t) ≤ m(final), so the true average fraction
+        // dominates the final-m-normalized legacy quantity …
+        assert!(r.avg_fraction >= r.avg_imbalance_over_final - 1e-12);
+        // … and on a skewed stream (imbalance grows sublinearly early) the
+        // two are genuinely different quantities.
+        assert!(r.avg_fraction > 0.0);
+        assert!(
+            (r.avg_fraction - r.avg_imbalance_over_final).abs() > 1e-9,
+            "fixed avg_fraction {} should differ from the legacy quantity {}",
+            r.avg_fraction,
+            r.avg_imbalance_over_final
+        );
+        // Homogeneous cluster: weighted metrics coincide with unweighted.
+        assert_eq!(r.avg_weighted_imbalance, r.avg_imbalance);
+        assert_eq!(r.final_weighted_imbalance, r.final_imbalance);
+        assert_eq!(r.avg_weighted_fraction, r.avg_fraction);
+    }
+
+    #[test]
+    fn uniform_capacities_reproduce_unweighted_run_exactly() {
+        let spec = small_spec();
+        let base = SimConfig::new(8, 3, SchemeSpec::pkg(EstimateKind::Local));
+        let plain = run(&spec, &base);
+        let uniform = run(&spec, &base.clone().with_capacities(&[2.5; 8]));
+        assert_eq!(plain.worker_loads, uniform.worker_loads, "routing must be byte-identical");
+        assert_eq!(plain.avg_imbalance, uniform.avg_imbalance);
+        assert_eq!(plain.avg_fraction, uniform.avg_fraction);
+        assert_eq!(uniform.avg_weighted_imbalance, uniform.avg_imbalance);
+        assert_eq!(uniform.final_weighted_fraction, uniform.final_fraction);
+    }
+
+    #[test]
+    fn weighted_routing_beats_capacity_blind_on_heterogeneous_cluster() {
+        let spec = small_spec();
+        // Workers 0–3 are 4× machines, 4–7 are 1×.
+        let caps = [4.0, 4.0, 4.0, 4.0, 1.0, 1.0, 1.0, 1.0];
+        let base = SimConfig::new(8, 3, SchemeSpec::pkg(EstimateKind::Local));
+        let aware = run(&spec, &base.clone().with_capacities(&caps));
+        let blind = run(&spec, &base.with_capacities(&caps).with_capacity_blind_routing());
+        // Blind routing equalizes raw loads, overloading the 1× workers;
+        // capacity-aware routing shifts mass to the 4× machines.
+        let fast: u64 = aware.worker_loads[..4].iter().sum();
+        let slow: u64 = aware.worker_loads[4..].iter().sum();
+        assert!(fast > slow * 2, "fast workers must absorb most load: {:?}", aware.worker_loads);
+        assert!(
+            aware.avg_weighted_imbalance < blind.avg_weighted_imbalance / 2.0,
+            "weighted {} not ≪ blind {}",
+            aware.avg_weighted_imbalance,
+            blind.avg_weighted_imbalance
+        );
+        assert!(aware.final_weighted_imbalance < blind.final_weighted_imbalance);
+        // The blind arm still records the capacities it was measured under.
+        assert_eq!(blind.capacities.as_deref(), Some(&caps[..]));
     }
 
     #[test]

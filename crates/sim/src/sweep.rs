@@ -23,42 +23,58 @@ pub struct Job {
 
 /// Run all jobs, using up to `threads` OS threads, preserving job order in
 /// the returned reports.
+///
+/// # Panics
+/// If a simulation panics, that panic is reported (by the default hook) as
+/// it unwinds the worker, and `run_parallel` then panics naming the failing
+/// job's scheme and dataset; the remaining jobs still run to completion.
 pub fn run_parallel(jobs: Vec<Job>, threads: usize) -> Vec<SimReport> {
     let threads = threads.clamp(1, jobs.len().max(1));
-    if threads == 1 {
-        return jobs.iter().map(|j| run(&j.spec, &j.cfg)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; jobs.len()]);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let report = run(&jobs[i].spec, &jobs[i].cfg);
-                results.lock().expect("no poisoned lock").insert_report(i, report);
-            });
-        }
-    })
-    .expect("worker threads do not panic");
-    results
-        .into_inner()
-        .expect("no poisoned lock")
+    // One slot per job: each is written at most once, by the worker that
+    // claimed the job, so the locks are never contended for long and a
+    // panicking job simply leaves its slot empty. A panicking job is
+    // contained (`catch_unwind`) so its siblings still run — also on the
+    // serial path, which is what a 1-CPU CI container takes — the default
+    // panic hook having already printed the payload and location.
+    let contained_run = |job: &Job| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&job.spec, &job.cfg))).ok()
+    };
+    let slots: Vec<Mutex<Option<SimReport>>> = if threads == 1 {
+        jobs.iter().map(|j| Mutex::new(contained_run(j))).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SimReport>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    if let Some(report) = contained_run(&jobs[i]) {
+                        *slots[i].lock().expect("slot written at most once") = Some(report);
+                    }
+                });
+            }
+        })
+        .expect("worker threads contain sim panics");
+        slots
+    };
+    slots
         .into_iter()
-        .map(|r| r.expect("every job ran"))
+        .zip(&jobs)
+        .map(|(slot, job)| {
+            slot.into_inner().expect("slot written at most once").unwrap_or_else(|| {
+                panic!(
+                    "sim job panicked: scheme {} on dataset {} (W={}, S={}) — see the panic above",
+                    job.cfg.scheme.label(),
+                    job.spec.name(),
+                    job.cfg.workers,
+                    job.cfg.sources
+                )
+            })
+        })
         .collect()
-}
-
-trait InsertReport {
-    fn insert_report(&mut self, i: usize, r: SimReport);
-}
-
-impl InsertReport for Vec<Option<SimReport>> {
-    fn insert_report(&mut self, i: usize, r: SimReport) {
-        self[i] = Some(r);
-    }
 }
 
 /// The number of worker threads to use for sweeps on this machine.
@@ -94,5 +110,29 @@ mod tests {
     #[test]
     fn empty_grid_is_fine() {
         assert!(run_parallel(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn panicking_job_is_named_and_does_not_abort_siblings() {
+        // Workers = 0 makes `run` panic on its config assertion. The sweep
+        // must finish the healthy jobs and then name the failing one. The
+        // expected panics print to stderr via the default hook (left in
+        // place: swapping the process-global hook would race other tests
+        // in this binary and swallow their diagnostics).
+        let spec = DatasetProfile::lognormal2().with_messages(5_000).build(1);
+        let mut bad = SimConfig::new(1, 1, SchemeSpec::KeyGrouping);
+        bad.workers = 0;
+        for threads in [1, 2] {
+            let jobs = vec![
+                Job { spec: spec.clone(), cfg: SimConfig::new(2, 1, SchemeSpec::KeyGrouping) },
+                Job { spec: spec.clone(), cfg: bad.clone() },
+                Job { spec: spec.clone(), cfg: SimConfig::new(3, 1, SchemeSpec::KeyGrouping) },
+            ];
+            let outcome = std::panic::catch_unwind(|| run_parallel(jobs, threads));
+            let err = outcome.expect_err("the bad job must fail the sweep");
+            let msg = err.downcast_ref::<String>().expect("panic carries a message");
+            assert!(msg.contains("scheme H"), "panic must name the scheme: {msg}");
+            assert!(msg.contains("LN2"), "panic must name the dataset: {msg}");
+        }
     }
 }

@@ -28,7 +28,7 @@ const MODES: [(&str, ExecutorMode); 3] = [
 ];
 
 fn opts(executor: ExecutorMode, seed: u64, channel_capacity: usize) -> RuntimeOptions {
-    RuntimeOptions { channel_capacity, seed, executor }
+    RuntimeOptions { channel_capacity, seed, executor, ..RuntimeOptions::default() }
 }
 
 /// Deterministic per-instance observables of one run.

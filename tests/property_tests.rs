@@ -251,3 +251,69 @@ proptest! {
         }
     }
 }
+
+// Heterogeneous-capacity properties, again in their own proptest! block
+// (the vendored tt-muncher's recursion depth scales with one block's
+// tokens).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn uniform_capacities_route_byte_identically(
+        n in 2usize..32,
+        seed: u64,
+        cap in 0.1f64..8.0,
+        keys in prop::collection::vec(0u64..500, 50..400),
+    ) {
+        // The capacity-free path is the oracle: attaching any *uniform*
+        // capacity vector (whatever its common value) must leave every
+        // routing decision of every load-consulting scheme unchanged.
+        let plain = pkg_core::SharedLoads::new(n);
+        let weighted = pkg_core::SharedLoads::new(n).with_capacities(&vec![cap; n]);
+        for scheme in [
+            SchemeSpec::pkg(EstimateKind::Local),
+            SchemeSpec::d_choices(EstimateKind::Local),
+            SchemeSpec::w_choices(EstimateKind::Local),
+            SchemeSpec::StaticPotc { estimate: EstimateKind::Local },
+            SchemeSpec::OnGreedy { estimate: EstimateKind::Local },
+        ] {
+            let mut a = scheme.build(n, seed, 0, &plain, None);
+            let mut b = scheme.build(n, seed, 0, &weighted, None);
+            for (t, &k) in keys.iter().enumerate() {
+                let (wa, wb) = (a.route(k, t as u64), b.route(k, t as u64));
+                prop_assert_eq!(
+                    wa, wb,
+                    "{} diverged under uniform capacities at t={}", scheme.label(), t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_routing_stays_in_range_and_candidates(
+        caps in prop::collection::vec(0.25f64..4.0, 2..32),
+        seed: u64,
+        keys in prop::collection::vec(0u64..200, 50..300),
+    ) {
+        // Heterogeneous capacities change *which* candidate wins, never
+        // the candidate set or the range.
+        let n = caps.len();
+        let shared = pkg_core::SharedLoads::new(n).with_capacities(&caps);
+        for scheme in [
+            SchemeSpec::pkg(EstimateKind::Local),
+            SchemeSpec::d_choices(EstimateKind::Local),
+            SchemeSpec::w_choices(EstimateKind::Local),
+        ] {
+            let mut p = scheme.build(n, seed, 0, &shared, None);
+            for (t, &k) in keys.iter().enumerate() {
+                let cands = p.candidates(k);
+                let w = p.route(k, t as u64);
+                prop_assert!(w < n, "{} routed out of range", scheme.label());
+                prop_assert!(
+                    cands.contains(&w),
+                    "{} escaped its candidates under capacities", scheme.label()
+                );
+            }
+        }
+    }
+}

@@ -168,6 +168,55 @@ fn w_choices_head_key_reaches_all_workers() {
     assert_eq!(hot.len(), workers, "head key reached only {} of {workers} workers", hot.len());
 }
 
+/// Heterogeneous capacities: a 4× worker absorbs ~4× the load of a 1×
+/// worker. On-Greedy with a global estimate water-fills unique keys by
+/// capacity-normalized load, so per-worker loads converge to exact
+/// capacity proportionality; W-Choices' head path does the same for a hot
+/// key via its global argmin.
+#[test]
+fn a_4x_worker_absorbs_4x_the_load_of_a_1x_worker() {
+    let workers = 5;
+    let caps = [4.0, 1.0, 1.0, 1.0, 1.0];
+
+    // On-Greedy, 20k unique unit keys: loads ∝ capacity.
+    let shared = pkg_core::SharedLoads::new(workers).with_capacities(&caps);
+    let mut greedy = SchemeSpec::OnGreedy { estimate: EstimateKind::Global }
+        .build(workers, 42, 0, &shared, None);
+    let mut loads = vec![0u64; workers];
+    for t in 0..20_000u64 {
+        let w = greedy.route(t, t);
+        shared.record(w);
+        loads[w] += 1;
+    }
+    let slow_avg = loads[1..].iter().sum::<u64>() as f64 / (workers - 1) as f64;
+    let ratio = loads[0] as f64 / slow_avg;
+    assert!((ratio - 4.0).abs() < 0.4, "4× worker took {ratio:.2}× a 1× worker: {loads:?}");
+
+    // W-Choices with a 60% head key (past θ = 2(1+ε)/5 = 0.44, so it takes
+    // the global argmin path): the head spreads over every worker and the
+    // *total* per-worker loads converge to capacity proportionality.
+    let shared = pkg_core::SharedLoads::new(workers).with_capacities(&caps);
+    let mut wc = SchemeSpec::w_choices(EstimateKind::Global).build(workers, 42, 0, &shared, None);
+    let mut total_loads = vec![0u64; workers];
+    let mut hot_workers = std::collections::BTreeSet::new();
+    for t in 0..80_000u64 {
+        let key = if t % 5 < 3 { 1_000_000 } else { t + 1 };
+        let w = wc.route(key, t);
+        shared.record(w);
+        total_loads[w] += 1;
+        if key == 1_000_000 {
+            hot_workers.insert(w);
+        }
+    }
+    assert_eq!(hot_workers.len(), workers, "head key must reach every worker");
+    let slow_total_avg = total_loads[1..].iter().sum::<u64>() as f64 / (workers - 1) as f64;
+    let total_ratio = total_loads[0] as f64 / slow_total_avg;
+    assert!(
+        (total_ratio - 4.0).abs() < 0.4,
+        "4× worker absorbed {total_ratio:.2}× a 1× worker: {total_loads:?}"
+    );
+}
+
 #[test]
 fn pkg_actually_splits_a_hot_key() {
     // With one dominant key, PKG must use ≥ 2 distinct workers for it
