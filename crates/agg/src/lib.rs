@@ -39,6 +39,8 @@
 //! assert_eq!(a.emit(), 7);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod accumulators;
 pub mod bolts;
 pub mod histogram_sketch;

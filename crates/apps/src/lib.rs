@@ -20,6 +20,8 @@
 //!   fixed-size mergeable approximate histograms; PKG makes the histogram
 //!   count per feature `2·D·C·L` instead of `W·D·C·L`.
 
+#![forbid(unsafe_code)]
+
 pub mod decision_tree;
 pub mod heavy_hitters;
 pub mod naive_bayes;

@@ -12,6 +12,8 @@
 //! * `PKG_THREADS` — sweep parallelism (default: available cores).
 //! * `PKG_SEED` — experiment seed (default 42).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;

@@ -67,17 +67,22 @@ impl SharedLoads {
     /// Add one message to worker `w`'s true load.
     #[inline]
     pub fn record(&self, w: usize) {
+        // ordering: Relaxed — independent per-worker tallies; readers only
+        // need eventual counts (sweep results are joined before reading)
         self.loads[w].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Read worker `w`'s true load.
     #[inline]
     pub fn load(&self, w: usize) -> u64 {
+        // ordering: Relaxed — monotone counter read; no cross-load ordering
         self.loads[w].load(Ordering::Relaxed)
     }
 
     /// Snapshot all loads.
     pub fn snapshot(&self) -> Vec<u64> {
+        // ordering: Relaxed — snapshot is advisory (imbalance metrics), and
+        // exact snapshots are taken after the generating threads joined
         self.loads.iter().map(|l| l.load(Ordering::Relaxed)).collect()
     }
 }

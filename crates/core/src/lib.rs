@@ -39,6 +39,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod choice;
 pub mod estimator;
 pub mod greedy;

@@ -26,6 +26,8 @@
 //! assert!(spec.iter(7).eq(msgs.iter().copied()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alias;
 pub mod drift;
 pub mod graph;

@@ -102,7 +102,9 @@ impl Sink<'_> {
             (EdgeTx::Channels(txs), Sink::Blocking) => {
                 // A send fails only if the receiver hung up, which the
                 // shutdown protocol makes impossible before our Eof.
-                txs[dest].send(packet).expect("downstream alive until Eof");
+                if txs[dest].send(packet).is_err() {
+                    unreachable!("downstream alive until Eof");
+                }
             }
             (EdgeTx::Tasks(dests), Sink::Pool { shared, outbox }) => {
                 let task = dests[dest];

@@ -121,7 +121,9 @@ pub(crate) fn run_bolt(
             Some(deadline) => {
                 let now = Instant::now();
                 if now >= deadline {
-                    let period = tick_every.expect("deadline implies period");
+                    let Some(period) = tick_every else {
+                        unreachable!("deadline implies period");
+                    };
                     let now_ns = (epoch.elapsed().as_nanos() as u64).max(1);
                     // Sample state at its peak, *before* the tick flushes it
                     // (Fig. 5(b)'s "average memory" is the live counter

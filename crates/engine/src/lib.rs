@@ -35,6 +35,8 @@
 //! assert_eq!(stats.processed("count"), 1000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bolt;
 pub mod executor;
 pub mod grouping;
@@ -42,6 +44,7 @@ pub mod metrics;
 pub(crate) mod pool;
 pub mod runtime;
 pub mod spout;
+pub(crate) mod sync;
 pub(crate) mod timer;
 pub mod topology;
 pub mod tuple;

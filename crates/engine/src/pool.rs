@@ -28,13 +28,34 @@
 //! the task's own processing order, so a topology routes **byte-identically**
 //! under both executors regardless of how activations interleave — the
 //! property `tests/engine_executor_parity.rs` pins down.
+//!
+//! # Memory ordering policy
+//!
+//! Every atomic in this module uses `SeqCst`, deliberately. The correctness
+//! argument for the wake/idle handshake is the model-checked suite in
+//! `pool_model.rs` (`--features pkg_model`), and the vendored checker
+//! explores **sequentially consistent** interleavings only — a weaker
+//! ordering would be outside what the model proves. Per-site `// ordering:`
+//! comments (enforced by `pkg-lint`) state what each access must order
+//! against; "SC-only model" below refers back to this paragraph.
+//!
+//! All concurrency primitives are imported via the [`crate::sync`] facade
+//! (also lint-enforced) so the same code runs under the model checker.
+
+#![warn(clippy::pedantic)]
+// Curated pedantic allows, each deliberate:
+// - cast_possible_truncation: ns-since-epoch u128→u64 overflows after ~584
+//   years of run time; every cast site is such a conversion.
+// - single_match_else: the spout/task dispatch matches read better with the
+//   two outcomes visually parallel than as `if let`/`else`.
+// - too_many_lines: `activate` is one cohesive task state machine and
+//   `run_pool` one topology build; splitting them would scatter invariants
+//   the model suite references by name.
+#![allow(clippy::cast_possible_truncation, clippy::single_match_else, clippy::too_many_lines)]
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering::SeqCst};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::sync::{Parker, Unparker};
 use pkg_metrics::LatencyHistogram;
 
 use crate::bolt::{Bolt, EdgeTx, Emitter, OutEdge, Sink};
@@ -42,6 +63,8 @@ use crate::executor::StateSampler;
 use crate::grouping::Router;
 use crate::metrics::{InstanceStats, RunStats};
 use crate::spout::Spout;
+use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering::SeqCst};
+use crate::sync::{lock, Instant, Mutex, Parker, Unparker};
 use crate::timer::TimerWheel;
 use crate::topology::{ComponentKind, Topology};
 use crate::tuple::{Packet, PacketBatch};
@@ -200,15 +223,17 @@ impl Shared {
     /// Emitter fast path: non-blocking push into `dest`'s mailbox. On
     /// `Err` the caller spills to its outbox and parks at activation end.
     pub(crate) fn try_push(&self, dest: usize, packet: Packet) -> Result<(), Packet> {
-        let mb = self.tasks[dest].mailbox.as_ref().expect("edge destinations are bolts");
+        let Some(mb) = self.tasks[dest].mailbox.as_ref() else {
+            unreachable!("edge destinations are bolts");
+        };
         {
-            let mut inner = mb.inner.lock().expect("mailbox lock");
+            let mut inner = lock(&mb.inner);
             if inner.queue.len() >= mb.cap {
                 return Err(packet);
             }
             inner.queue.push_back(packet);
         }
-        self.wake(dest, WakeKind::Notify);
+        self.wake(dest, &WakeKind::Notify);
         Ok(())
     }
 
@@ -216,11 +241,14 @@ impl Shared {
     /// `waiter` for a backpressure-release wake — under the same lock as
     /// the capacity check, so the release can never be missed.
     fn push_or_park(&self, dest: usize, packet: Packet, waiter: usize) -> Result<(), Packet> {
-        let mb = self.tasks[dest].mailbox.as_ref().expect("edge destinations are bolts");
+        let Some(mb) = self.tasks[dest].mailbox.as_ref() else {
+            unreachable!("edge destinations are bolts");
+        };
         {
-            let mut inner = mb.inner.lock().expect("mailbox lock");
+            let mut inner = lock(&mb.inner);
             if inner.queue.len() >= mb.cap {
                 debug_assert_ne!(
+                    // ordering: SeqCst — debug-only sanity read (SC-only model)
                     self.tasks[dest].state.load(SeqCst),
                     DONE,
                     "a done task cannot still have senders (Eof protocol)"
@@ -232,16 +260,18 @@ impl Shared {
             }
             inner.queue.push_back(packet);
         }
-        self.wake(dest, WakeKind::Notify);
+        self.wake(dest, &WakeKind::Notify);
         Ok(())
     }
 
     /// Drain up to `max` packets of `tid`'s own mailbox into `inbox`,
     /// waking any producers that were parked on the mailbox being full.
     fn refill_inbox(&self, tid: usize, inbox: &mut PacketBatch, max: usize) -> usize {
-        let mb = self.tasks[tid].mailbox.as_ref().expect("bolts have mailboxes");
+        let Some(mb) = self.tasks[tid].mailbox.as_ref() else {
+            unreachable!("bolts have mailboxes");
+        };
         let (moved, waiters) = {
-            let mut inner = mb.inner.lock().expect("mailbox lock");
+            let mut inner = lock(&mb.inner);
             let moved = inbox.refill(&mut inner.queue, max);
             let waiters = if moved > 0 && !inner.waiters.is_empty() {
                 std::mem::take(&mut inner.waiters)
@@ -251,7 +281,7 @@ impl Shared {
             (moved, waiters)
         };
         for w in waiters {
-            self.wake(w, WakeKind::Unpark);
+            self.wake(w, &WakeKind::Unpark);
         }
         moved
     }
@@ -261,14 +291,18 @@ impl Shared {
     fn wake_state(&self, t: usize, kind: &WakeKind) -> bool {
         let state = &self.tasks[t].state;
         loop {
+            // ordering: SeqCst — one total order with mailbox pushes and the
+            // worker's empty-check→IDLE transition (SC-only model)
             match state.load(SeqCst) {
                 IDLE => {
+                    // ordering: SeqCst — IDLE→QUEUED orders after the push (SC-only model)
                     if state.compare_exchange(IDLE, QUEUED, SeqCst, SeqCst).is_ok() {
                         return true;
                     }
                 }
                 PARKED => match kind {
                     WakeKind::Unpark => {
+                        // ordering: SeqCst — PARKED→QUEUED release wake (SC-only model)
                         if state.compare_exchange(PARKED, QUEUED, SeqCst, SeqCst).is_ok() {
                             return true;
                         }
@@ -276,6 +310,8 @@ impl Shared {
                     WakeKind::Notify => return false,
                 },
                 RUNNING => {
+                    // ordering: SeqCst — RUNNING→NOTIFIED latches a mid-activation
+                    // wake so idling later requeues instead (SC-only model)
                     if state.compare_exchange(RUNNING, NOTIFIED, SeqCst, SeqCst).is_ok() {
                         return false;
                     }
@@ -286,22 +322,22 @@ impl Shared {
         }
     }
 
-    fn wake(&self, t: usize, kind: WakeKind) {
-        if self.wake_state(t, &kind) {
-            self.sched.lock().expect("sched lock").runq.push_back(t);
+    fn wake(&self, t: usize, kind: &WakeKind) {
+        if self.wake_state(t, kind) {
+            lock(&self.sched).runq.push_back(t);
             self.unpark_one_idler();
         }
     }
 
     fn unpark_one_idler(&self) {
-        let popped = self.idlers.lock().expect("idlers lock").pop();
+        let popped = lock(&self.idlers).pop();
         if let Some((_, u)) = popped {
             u.unpark();
         }
     }
 
     fn unpark_all_idlers(&self) {
-        let drained: Vec<_> = self.idlers.lock().expect("idlers lock").drain(..).collect();
+        let drained: Vec<_> = lock(&self.idlers).drain(..).collect();
         for (_, u) in drained {
             u.unpark();
         }
@@ -429,7 +465,7 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                 }
                 if fired {
                     // Re-arm the wheel for the advanced deadline.
-                    shared.sched.lock().expect("sched lock").timers.insert(*next_tick_ns, tid);
+                    lock(&shared.sched).timers.insert(*next_tick_ns, tid);
                     if !deliver_outbox(shared, tid, outbox) {
                         return Outcome::Park;
                     }
@@ -441,7 +477,9 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                 if inbox.is_empty() && shared.refill_inbox(tid, inbox, budget) == 0 {
                     break;
                 }
-                let packet = inbox.pop().expect("refilled non-empty");
+                let Some(packet) = inbox.pop() else {
+                    unreachable!("refill reported packets moved");
+                };
                 budget -= 1;
                 match packet {
                     Packet::Tuple(tuple) => {
@@ -530,36 +568,28 @@ fn is_complete(body: &TaskBody) -> bool {
     }
 }
 
-fn run_task(shared: &Shared, tid: usize, wid: usize) {
+/// Settle a task's scheduling state after a non-`Done` activation.
+/// `requeue` is how the caller re-queues the task (the worker pushes onto
+/// its local queue; the model suite substitutes its own). Split from
+/// [`run_task`] so the model checker can race exactly this transition
+/// against concurrent wakes (`pool_model.rs`).
+fn settle(shared: &Shared, tid: usize, outcome: &Outcome, requeue: impl Fn()) {
     let slot = &shared.tasks[tid];
-    let prev = slot.state.swap(RUNNING, SeqCst);
-    debug_assert_eq!(prev, QUEUED, "only queued tasks run");
-    let mut body = slot.body.lock().expect("body lock").take().expect("queued task owns a body");
-    let outcome = activate(shared, tid, &mut body);
-    if matches!(outcome, Outcome::Done) {
-        shared.stats.lock().expect("stats lock").push(body.into_stats());
-        slot.state.store(DONE, SeqCst);
-        if shared.remaining.fetch_sub(1, SeqCst) == 1 {
-            shared.unpark_all_idlers();
-        }
-        return;
-    }
-    *slot.body.lock().expect("body lock") = Some(body);
-    let requeue = || {
-        slot.state.store(QUEUED, SeqCst);
-        shared.locals[wid].lock().expect("local queue lock").push_back(tid);
-    };
     match outcome {
         // Quantum exhausted with input left.
         Outcome::Yield => requeue(),
         // The CAS failure arms handle wakes that landed mid-activation
         // (state is NOTIFIED): requeue instead of going quiet.
         Outcome::Idle => {
+            // ordering: SeqCst — RUNNING→IDLE must order after the final
+            // empty mailbox check; failure means NOTIFIED landed (SC-only model)
             if slot.state.compare_exchange(RUNNING, IDLE, SeqCst, SeqCst).is_err() {
                 requeue();
             }
         }
         Outcome::Park => {
+            // ordering: SeqCst — RUNNING→PARKED after waiter registration;
+            // failure means NOTIFIED landed (SC-only model)
             if slot.state.compare_exchange(RUNNING, PARKED, SeqCst, SeqCst).is_err() {
                 requeue();
             }
@@ -571,18 +601,48 @@ fn run_task(shared: &Shared, tid: usize, wid: usize) {
             // absorb because the timer below is a guaranteed future wake —
             // and it is armed only now, after PARKED is visible, so it can
             // never fire against RUNNING and be consumed as a no-op.
+            // ordering: SeqCst — store, not CAS: absorbs NOTIFIED by design (SC-only model)
             slot.state.store(PARKED, SeqCst);
-            shared.sched.lock().expect("sched lock").timers.insert_unpark(deadline_ns, tid);
+            lock(&shared.sched).timers.insert_unpark(*deadline_ns, tid);
         }
-        Outcome::Done => unreachable!("handled above"),
+        Outcome::Done => unreachable!("Done is finalized by run_task, not settled"),
     }
+}
+
+fn run_task(shared: &Shared, tid: usize, wid: usize) {
+    let slot = &shared.tasks[tid];
+    // ordering: SeqCst — QUEUED→RUNNING claims the activation (SC-only model)
+    let prev = slot.state.swap(RUNNING, SeqCst);
+    debug_assert_eq!(prev, QUEUED, "only queued tasks run");
+    let Some(mut body) = lock(&slot.body).take() else {
+        unreachable!("queued task owns a body");
+    };
+    let outcome = activate(shared, tid, &mut body);
+    if matches!(outcome, Outcome::Done) {
+        lock(&shared.stats).push(body.into_stats());
+        // ordering: SeqCst — DONE precedes the remaining decrement (SC-only model)
+        slot.state.store(DONE, SeqCst);
+        // ordering: SeqCst — the final decrement pairs with the idle workers'
+        // remaining-count exit checks (SC-only model)
+        if shared.remaining.fetch_sub(1, SeqCst) == 1 {
+            shared.unpark_all_idlers();
+        }
+        return;
+    }
+    *lock(&slot.body) = Some(body);
+    let requeue = || {
+        // ordering: SeqCst — QUEUED before the id is published to the queue (SC-only model)
+        slot.state.store(QUEUED, SeqCst);
+        lock(&shared.locals[wid]).push_back(tid);
+    };
+    settle(shared, tid, &outcome, requeue);
 }
 
 fn steal(shared: &Shared, wid: usize) -> Option<usize> {
     let n = shared.locals.len();
     for k in 1..n {
         let victim = (wid + k) % n;
-        let stolen = shared.locals[victim].lock().expect("local queue lock").pop_back();
+        let stolen = lock(&shared.locals[victim]).pop_back();
         if stolen.is_some() {
             return stolen;
         }
@@ -598,7 +658,7 @@ fn worker_loop(shared: &Shared, wid: usize) {
         // queue → steal from a sibling. Global-first keeps freshly woken
         // tasks from starving behind a self-requeueing task.
         let task = {
-            let mut s = shared.sched.lock().expect("sched lock");
+            let mut s = lock(&shared.sched);
             due.clear();
             s.timers.fire(shared.now_ns(), &mut due);
             for &(t, unpark) in &due {
@@ -609,14 +669,15 @@ fn worker_loop(shared: &Shared, wid: usize) {
             }
             s.runq.pop_front()
         };
-        let task = task
-            .or_else(|| shared.locals[wid].lock().expect("local queue lock").pop_front())
-            .or_else(|| steal(shared, wid));
+        let task =
+            task.or_else(|| lock(&shared.locals[wid]).pop_front()).or_else(|| steal(shared, wid));
         match task {
             Some(tid) => {
                 run_task(shared, tid, wid);
             }
             None => {
+                // ordering: SeqCst — exit check pairs with run_task's final
+                // decrement (SC-only model)
                 if shared.remaining.load(SeqCst) == 0 {
                     shared.unpark_all_idlers();
                     return;
@@ -625,19 +686,21 @@ fn worker_loop(shared: &Shared, wid: usize) {
                 // producer that enqueues after our check will pop our
                 // unparker, and a pre-park unpark makes park return
                 // immediately (no lost wake).
-                shared.idlers.lock().expect("idlers lock").push((wid, parker.unparker()));
+                lock(&shared.idlers).push((wid, parker.unparker()));
                 let (empty, next_deadline) = {
-                    let s = shared.sched.lock().expect("sched lock");
+                    let s = lock(&shared.sched);
                     (s.runq.is_empty(), s.timers.next_deadline_ns())
                 };
+                // ordering: SeqCst — re-check under idler registration (SC-only model)
                 if empty && shared.remaining.load(SeqCst) != 0 {
                     let sleep = next_deadline
-                        .map(|d| Duration::from_nanos(d.saturating_sub(shared.now_ns())))
-                        .unwrap_or(MAX_IDLE_PARK)
+                        .map_or(MAX_IDLE_PARK, |d| {
+                            Duration::from_nanos(d.saturating_sub(shared.now_ns()))
+                        })
                         .clamp(Duration::from_micros(50), MAX_IDLE_PARK);
                     parker.park_timeout(sleep);
                 }
-                shared.idlers.lock().expect("idlers lock").retain(|(w, _)| *w != wid);
+                lock(&shared.idlers).retain(|(w, _)| *w != wid);
             }
         }
     }
@@ -646,7 +709,7 @@ fn worker_loop(shared: &Shared, wid: usize) {
 /// Execute `topology` on a cooperative pool of `workers` threads with a
 /// per-activation quantum of `batch` packets.
 pub(crate) fn run_pool(
-    topology: Topology,
+    topology: &Topology,
     channel_capacity: usize,
     seed: u64,
     workers: usize,
@@ -659,8 +722,8 @@ pub(crate) fn run_pool(
     // rendezvous channels; capacity 1 is the closest pool equivalent.
     let mailbox_capacity = channel_capacity.max(1);
     let n_components = topology.components.len();
-    let out_edges = crate::runtime::build_out_edges(&topology, seed);
-    let upstream = crate::runtime::upstream_sender_counts(&topology);
+    let out_edges = crate::runtime::build_out_edges(topology, seed);
+    let upstream = crate::runtime::upstream_sender_counts(topology);
     let mut first_task = Vec::with_capacity(n_components);
     let mut total_instances = 0usize;
     for c in &topology.components {
@@ -761,8 +824,14 @@ pub(crate) fn run_pool(
     });
 
     let wall = epoch.elapsed();
-    let mut instances = shared.stats.into_inner().expect("stats lock");
+    let Ok(mut instances) = shared.stats.into_inner() else {
+        panic!("engine lock poisoned: a worker thread panicked");
+    };
     assert_eq!(instances.len(), total_instances, "every task reports stats");
     instances.sort_by(|a, b| a.component.cmp(&b.component).then(a.instance.cmp(&b.instance)));
     RunStats { wall, instances }
 }
+
+#[cfg(all(test, feature = "pkg_model"))]
+#[path = "pool_model.rs"]
+mod pool_model;

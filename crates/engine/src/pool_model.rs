@@ -1,0 +1,347 @@
+//! Model-checked concurrency suite for the pool executor (`--features
+//! pkg_model`). Compiled as a child of `pool` so fixtures can build [`Shared`]
+//! directly and drive the real `wake_state`/`settle`/`run_task`/`worker_loop`
+//! code paths under `pkg_model`'s controlled scheduler, which exhaustively
+//! enumerates thread interleavings (DFS, bounded preemption).
+//!
+//! Invariants pinned here:
+//! 1. **Lost-wake freedom** — a mailbox push racing the worker's
+//!    empty-check → IDLE transition never strands a packet
+//!    ([`no_lost_wake_between_empty_check_and_idle`]).
+//! 2. **Stalls survive data wakes** (the PR 4 regression) — a concurrent
+//!    `Notify` never converts an `Outcome::Stall` park into an instant
+//!    requeue ([`stall_never_skipped_by_concurrent_data_wake`]).
+//! 3. **Parker token protocol** — exhaustively checked in `pkg-model`'s own
+//!    suite and `vendor/crossbeam`'s `model_park_unpark_has_no_lost_wake`.
+//! 4. **Eof ordering under spill** — a full spout→bolt run over a
+//!    capacity-1 mailbox (every second emission spills) preserves
+//!    per-destination FIFO and the Eof-last protocol, end to end through
+//!    the real `worker_loop` ([`spill_preserves_order_and_eof_protocol`]).
+//!
+//! Detection power is proved, not assumed: `mutation_*` tests re-introduce
+//! the PR 4 stall bug and an unconditional-IDLE variant of the idle
+//! transition, and assert the checker *finds* the violating schedule.
+
+// Test-only module: the parent's `#![warn(clippy::pedantic)]` does not need
+// to police fixture code.
+#![allow(clippy::pedantic)]
+
+use super::*;
+use crate::grouping::Grouping;
+use crate::spout::spout_from_iter;
+use crate::tuple::Tuple;
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// A `Shared` with `n_tasks` bolt-like slots (mailbox capacity `cap`) and
+/// one worker-local queue; enough to race producers against settlement.
+fn mini_shared(n_tasks: usize, cap: usize) -> Shared {
+    Shared {
+        tasks: (0..n_tasks)
+            .map(|_| TaskSlot {
+                state: AtomicU8::new(IDLE),
+                mailbox: Some(Mailbox { cap, inner: Mutex::default() }),
+                body: Mutex::new(None),
+            })
+            .collect(),
+        sched: Mutex::new(Sched { runq: VecDeque::new(), timers: TimerWheel::new() }),
+        locals: vec![Mutex::new(VecDeque::new())],
+        idlers: Mutex::new(Vec::new()),
+        remaining: AtomicUsize::new(n_tasks),
+        epoch: Instant::now(),
+        batch: DEFAULT_BATCH,
+        stats: Mutex::new(Vec::new()),
+    }
+}
+
+fn mailbox_len(shared: &Shared, tid: usize) -> usize {
+    let Some(mb) = shared.tasks[tid].mailbox.as_ref() else {
+        unreachable!("mini_shared tasks all have mailboxes");
+    };
+    lock(&mb.inner).queue.len()
+}
+
+/// Invariant 1: across *every* interleaving of a producer's
+/// `try_push`+wake with the worker's "mailbox empty → settle(Idle)"
+/// epilogue, a queued packet always leaves the task runnable (QUEUED) —
+/// the NOTIFIED latch plus the CAS-failure requeue close the race window.
+#[test]
+fn no_lost_wake_between_empty_check_and_idle() {
+    pkg_model::Builder::new().preemption_bound(2).model(|| {
+        let shared = Arc::new(mini_shared(1, 4));
+        shared.tasks[0].state.store(RUNNING, SeqCst);
+        let producer = {
+            let shared = Arc::clone(&shared);
+            pkg_model::thread::spawn(move || {
+                let pushed = shared.try_push(0, Packet::Eof);
+                assert!(pushed.is_ok(), "capacity 4 mailbox never fills here");
+            })
+        };
+        let worker = {
+            let shared = Arc::clone(&shared);
+            pkg_model::thread::spawn(move || {
+                let mut inbox = PacketBatch::default();
+                let outcome = if shared.refill_inbox(0, &mut inbox, 64) == 0 {
+                    Outcome::Idle
+                } else {
+                    Outcome::Yield
+                };
+                let requeue = || {
+                    shared.tasks[0].state.store(QUEUED, SeqCst);
+                    lock(&shared.sched).runq.push_back(0);
+                };
+                settle(&shared, 0, &outcome, requeue);
+            })
+        };
+        producer.join();
+        worker.join();
+        if mailbox_len(&shared, 0) > 0 {
+            assert_eq!(
+                shared.tasks[0].state.load(SeqCst),
+                QUEUED,
+                "lost wake: packet queued but task went quiet"
+            );
+        }
+    });
+}
+
+/// Detection power for invariant 1: replace `settle`'s guarded
+/// RUNNING→IDLE CAS with an unconditional IDLE store and the checker must
+/// produce the stranded-packet schedule.
+#[test]
+fn mutation_unconditional_idle_store_is_caught() {
+    let violation = pkg_model::Builder::new()
+        .preemption_bound(2)
+        .check(|| {
+            let shared = Arc::new(mini_shared(1, 4));
+            shared.tasks[0].state.store(RUNNING, SeqCst);
+            let producer = {
+                let shared = Arc::clone(&shared);
+                pkg_model::thread::spawn(move || {
+                    let _ = shared.try_push(0, Packet::Eof);
+                })
+            };
+            let worker = {
+                let shared = Arc::clone(&shared);
+                pkg_model::thread::spawn(move || {
+                    let mut inbox = PacketBatch::default();
+                    if shared.refill_inbox(0, &mut inbox, 64) == 0 {
+                        // BUG (deliberate): ignores a NOTIFIED latched by a
+                        // concurrent wake instead of CASing RUNNING→IDLE.
+                        shared.tasks[0].state.store(IDLE, SeqCst);
+                    } else {
+                        shared.tasks[0].state.store(QUEUED, SeqCst);
+                        lock(&shared.sched).runq.push_back(0);
+                    }
+                })
+            };
+            producer.join();
+            worker.join();
+            if mailbox_len(&shared, 0) > 0 {
+                assert_eq!(
+                    shared.tasks[0].state.load(SeqCst),
+                    QUEUED,
+                    "lost wake: packet queued but task went quiet"
+                );
+            }
+        })
+        .expect_err("the unconditional-IDLE bug must be caught");
+    assert!(violation.message.contains("lost wake"), "got: {violation}");
+}
+
+const STALL_DEADLINE_NS: u64 = 1_000_000;
+
+/// Invariant 2 (the PR 4 regression, exhaustively pinned): settling
+/// `Outcome::Stall` parks *unconditionally* and only then arms the timer,
+/// so a data wake that latched NOTIFIED mid-activation is absorbed — the
+/// task ends PARKED with the deadline armed, in every interleaving.
+#[test]
+fn stall_never_skipped_by_concurrent_data_wake() {
+    pkg_model::Builder::new().preemption_bound(2).model(|| {
+        let shared = Arc::new(mini_shared(1, 4));
+        shared.tasks[0].state.store(RUNNING, SeqCst);
+        let producer = {
+            let shared = Arc::clone(&shared);
+            pkg_model::thread::spawn(move || {
+                let _ = shared.try_push(0, Packet::Tuple(Tuple::new(*b"k", 1)));
+            })
+        };
+        let worker = {
+            let shared = Arc::clone(&shared);
+            pkg_model::thread::spawn(move || {
+                settle(&shared, 0, &Outcome::Stall(STALL_DEADLINE_NS), || {
+                    unreachable!("a stall settle must never requeue");
+                });
+            })
+        };
+        producer.join();
+        worker.join();
+        assert_eq!(shared.tasks[0].state.load(SeqCst), PARKED, "stall skipped: task is not parked");
+        let mut due = Vec::new();
+        lock(&shared.sched).timers.fire(STALL_DEADLINE_NS * 2, &mut due);
+        assert_eq!(due, vec![(0, true)], "stall deadline armed and fires as an Unpark");
+    });
+}
+
+/// Detection power for invariant 2: re-introduce the literal PR 4 bug — a
+/// *conditional* RUNNING→PARKED CAS whose failure path requeues — and the
+/// checker must find the schedule where a concurrent data wake cancels the
+/// emulated service time.
+#[test]
+fn mutation_pr4_conditional_stall_park_is_caught() {
+    let violation = pkg_model::Builder::new()
+        .preemption_bound(2)
+        .check(|| {
+            let shared = Arc::new(mini_shared(1, 4));
+            shared.tasks[0].state.store(RUNNING, SeqCst);
+            let producer = {
+                let shared = Arc::clone(&shared);
+                pkg_model::thread::spawn(move || {
+                    let _ = shared.try_push(0, Packet::Tuple(Tuple::new(*b"k", 1)));
+                })
+            };
+            let worker = {
+                let shared = Arc::clone(&shared);
+                pkg_model::thread::spawn(move || {
+                    // BUG (deliberate, PR 4's original): park only if still
+                    // RUNNING; a NOTIFIED wake turns the stall into an
+                    // instant requeue, silently skipping the service time.
+                    let slot = &shared.tasks[0];
+                    if slot.state.compare_exchange(RUNNING, PARKED, SeqCst, SeqCst).is_ok() {
+                        lock(&shared.sched).timers.insert_unpark(STALL_DEADLINE_NS, 0);
+                    } else {
+                        slot.state.store(QUEUED, SeqCst);
+                        lock(&shared.sched).runq.push_back(0);
+                    }
+                })
+            };
+            producer.join();
+            worker.join();
+            assert_eq!(
+                shared.tasks[0].state.load(SeqCst),
+                PARKED,
+                "stall skipped: task is not parked"
+            );
+        })
+        .expect_err("the PR 4 conditional-park bug must be caught");
+    assert!(violation.message.contains("stall skipped"), "got: {violation}");
+}
+
+/// Order-recording sink bolt for the end-to-end spill fixture. The log uses
+/// a raw `std` mutex on purpose: `execute` runs between scheduling points,
+/// so the lock is never contended under the model.
+struct OrderBolt {
+    seen: Arc<StdMutex<Vec<i64>>>,
+}
+
+impl Bolt for OrderBolt {
+    fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
+        self.seen.lock().expect("order log").push(tuple.value);
+    }
+}
+
+fn blank_body(component: &str, kind: TaskKind, edges: Vec<OutEdge>) -> TaskBody {
+    TaskBody {
+        component: component.to_owned(),
+        instance: 0,
+        kind,
+        edges,
+        outbox: VecDeque::new(),
+        inbox: PacketBatch::default(),
+        processed: 0,
+        emitted: 0,
+        ticks: 0,
+        activations: 0,
+        stall_scale: 1.0,
+        stalled_ns: 0,
+        latency: LatencyHistogram::new(5),
+        sampler: StateSampler::default(),
+        final_state: 0,
+    }
+}
+
+/// Spout (3 tuples) → capacity-1 mailbox → sink bolt: every second emission
+/// spills to the outbox and parks the spout, exercising push_or_park waiter
+/// registration, backpressure-release wakes, and Eof-after-spill delivery.
+fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize) -> Shared {
+    let spout_edges =
+        vec![OutEdge { router: Router::new(&Grouping::Key, 1, 7, 0), tx: EdgeTx::Tasks(vec![1]) }];
+    let spout_kind = TaskKind::Spout {
+        spout: spout_from_iter((1..=3).map(|v| Tuple::new(*b"k", v))),
+        exhausted: false,
+    };
+    let bolt_kind = TaskKind::Bolt {
+        bolt: Box::new(OrderBolt { seen }),
+        eof_remaining: 1,
+        tick_period_ns: None,
+        next_tick_ns: u64::MAX,
+    };
+    Shared {
+        tasks: vec![
+            TaskSlot {
+                state: AtomicU8::new(QUEUED),
+                mailbox: None,
+                body: Mutex::new(Some(Box::new(blank_body("src", spout_kind, spout_edges)))),
+            },
+            TaskSlot {
+                state: AtomicU8::new(IDLE),
+                mailbox: Some(Mailbox { cap: 1, inner: Mutex::default() }),
+                body: Mutex::new(Some(Box::new(blank_body("sink", bolt_kind, Vec::new())))),
+            },
+        ],
+        sched: Mutex::new(Sched { runq: VecDeque::from([0]), timers: TimerWheel::new() }),
+        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        idlers: Mutex::new(Vec::new()),
+        remaining: AtomicUsize::new(2),
+        epoch: Instant::now(),
+        batch: 2,
+        stats: Mutex::new(Vec::new()),
+    }
+}
+
+/// Invariant 4, end to end through the real [`worker_loop`]: across every
+/// (preemption-bounded) interleaving of two workers, the spill/backpressure
+/// path delivers all tuples in per-destination FIFO order, the Eof arrives
+/// last (the `debug_assert` in `activate` checks packets-after-final-Eof),
+/// both tasks reach DONE, and the idle-park shutdown protocol terminates —
+/// under the model, `park_timeout` never times out, so termination *proves*
+/// every needed wake is edge-delivered rather than rescued by the backstop.
+#[test]
+fn spill_preserves_order_and_eof_protocol() {
+    let report = pkg_model::Builder::new()
+        .preemption_bound(2)
+        .check(|| {
+            let seen = Arc::new(StdMutex::new(Vec::new()));
+            let shared = Arc::new(spill_fixture(Arc::clone(&seen), 2));
+            let workers: Vec<_> = (0..2)
+                .map(|wid| {
+                    let shared = Arc::clone(&shared);
+                    pkg_model::thread::spawn(move || worker_loop(&shared, wid))
+                })
+                .collect();
+            for w in workers {
+                w.join();
+            }
+            assert_eq!(
+                *seen.lock().expect("order log"),
+                vec![1, 2, 3],
+                "spill must preserve per-destination FIFO"
+            );
+            assert_eq!(shared.remaining.load(SeqCst), 0, "all tasks retired");
+            for slot in &shared.tasks {
+                assert_eq!(slot.state.load(SeqCst), DONE);
+            }
+            let stats = lock(&shared.stats);
+            assert_eq!(stats.len(), 2, "both tasks reported stats");
+            for s in stats.iter() {
+                assert_eq!(s.processed, 3, "{} processed every tuple", s.component);
+            }
+        })
+        .expect("no schedule may violate the spill/Eof protocol");
+    // Exploration sanity: a degenerate tree (one schedule) would mean the
+    // fixture isn't racing anything and the proof is vacuous.
+    assert!(
+        report.iterations >= 100,
+        "expected a real interleaving space, got {} schedules",
+        report.iterations
+    );
+}

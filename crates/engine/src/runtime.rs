@@ -195,7 +195,7 @@ impl Runtime {
         match self.opts.executor {
             ExecutorMode::ThreadPerInstance => self.run_thread_per_instance(topology),
             ExecutorMode::Pool { workers, batch } => crate::pool::run_pool(
-                topology,
+                &topology,
                 self.opts.channel_capacity,
                 self.opts.seed,
                 if workers == 0 {
@@ -267,7 +267,10 @@ impl Runtime {
                         tx: EdgeTx::Channels(
                             txs[*to]
                                 .iter()
-                                .map(|t| t.as_ref().expect("bolt txs live until spawn").clone())
+                                .map(|t| match t.as_ref() {
+                                    Some(tx) => tx.clone(),
+                                    None => unreachable!("bolt txs live until spawn"),
+                                })
                                 .collect(),
                         ),
                     })
@@ -280,18 +283,24 @@ impl Runtime {
                         let spout = factory(i);
                         handles.push(std::thread::spawn(move || {
                             let s = run_spout(name, i, spout, edges, epoch, stall_scale);
-                            stats_tx.send(s).expect("stats channel outlives executors");
+                            if stats_tx.send(s).is_err() {
+                                unreachable!("stats channel outlives executors");
+                            }
                         }));
                     }
                     ComponentKind::Bolt(factory) => {
                         let bolt = factory(i);
-                        let rx = rxs[ci][i].take().expect("each bolt receiver taken once");
+                        let Some(rx) = rxs[ci][i].take() else {
+                            unreachable!("each bolt receiver taken once");
+                        };
                         let eof = upstream_senders[ci];
                         let tick = c.tick_every;
                         handles.push(std::thread::spawn(move || {
                             let s =
                                 run_bolt(name, i, bolt, rx, edges, eof, tick, epoch, stall_scale);
-                            stats_tx.send(s).expect("stats channel outlives executors");
+                            if stats_tx.send(s).is_err() {
+                                unreachable!("stats channel outlives executors");
+                            }
                         }));
                     }
                 }
@@ -303,10 +312,15 @@ impl Runtime {
 
         let mut instances = Vec::with_capacity(total_instances);
         for _ in 0..total_instances {
-            instances.push(stats_rx.recv().expect("every executor reports"));
+            match stats_rx.recv() {
+                Ok(s) => instances.push(s),
+                Err(_) => panic!("an executor exited without reporting (did a bolt panic?)"),
+            }
         }
         for h in handles {
-            h.join().expect("executor threads do not panic");
+            if h.join().is_err() {
+                panic!("an executor thread panicked");
+            }
         }
         let wall = epoch.elapsed();
         instances.sort_by(|a, b| a.component.cmp(&b.component).then(a.instance.cmp(&b.instance)));

@@ -1,0 +1,54 @@
+//! Facade over the concurrency primitives the pool executor is built on.
+//!
+//! Normal builds re-export the `std::sync` / vendored-crossbeam types
+//! unchanged — a pure renaming with identical codegen. With the `pkg_model`
+//! feature the same names resolve to `pkg-model`'s model-aware types, whose
+//! every operation is a scheduling point of the deterministic interleaving
+//! explorer (`vendor/loom`), and whose blocking goes through the controlled
+//! scheduler so lost wakes surface as detected deadlocks.
+//!
+//! ```text
+//!                pool.rs / timer.rs
+//!                        │ (only import concurrency types from here;
+//!                        │  enforced by pkg-lint rule `facade-isolation`)
+//!                 crate::sync facade
+//!                ┌───────┴────────┐
+//!        default │                │ --features pkg_model
+//!   std::sync::{Mutex, atomic}   pkg_model::sync::{Mutex, atomic}
+//!   crossbeam::sync::Parker      pkg_model::sync::Parker
+//!                                 (via crossbeam's own `pkg_model` facade)
+//! ```
+//!
+//! `Instant` is re-exported from `std::time` in both modes: the model does
+//! not virtualize time, and the model suite only exercises code paths whose
+//! scheduling decisions are time-independent.
+
+#[cfg(not(feature = "pkg_model"))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+#[cfg(feature = "pkg_model")]
+pub(crate) use pkg_model::sync::{Mutex, MutexGuard};
+
+pub(crate) use crossbeam::sync::{Parker, Unparker};
+
+pub(crate) use std::time::Instant;
+
+pub(crate) mod atomic {
+    #[cfg(not(feature = "pkg_model"))]
+    pub(crate) use std::sync::atomic::{AtomicU8, AtomicUsize};
+
+    #[cfg(feature = "pkg_model")]
+    pub(crate) use pkg_model::sync::atomic::{AtomicU8, AtomicUsize};
+
+    pub(crate) use std::sync::atomic::Ordering;
+}
+
+/// Lock a facade mutex. The engine's workers never panic while holding a
+/// lock, so poisoning is unreachable; this helper centralizes that argument
+/// (and is the one place the facade is allowed to panic on it).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(_) => panic!("engine lock poisoned: a worker thread panicked"),
+    }
+}

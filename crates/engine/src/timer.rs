@@ -14,6 +14,8 @@
 //! fires once `now >= deadline`, never early — slot membership is a
 //! coarsening for scan efficiency, not for firing decisions.
 
+#![warn(clippy::pedantic)]
+
 /// Slot granularity in nanoseconds (`2^20` ≈ 1.05 ms).
 const GRANULE_NS: u64 = 1 << 20;
 /// Number of wheel slots; horizon = `SLOTS * GRANULE_NS` ≈ 268 ms.

@@ -30,6 +30,8 @@
 //! assert_eq!(candidates, family.choices(&"barcelona", 10));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod fx;
 pub mod murmur3;
 pub mod seeded;

@@ -24,6 +24,8 @@
 //! uniform capacities every weighted quantity degenerates exactly to its
 //! unweighted counterpart.
 
+#![forbid(unsafe_code)]
+
 pub mod capacity;
 pub mod histogram;
 pub mod imbalance;

@@ -26,6 +26,8 @@
 //! assert!(report.avg_fraction < 0.01); // PKG balances this stream well
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aggregation;
 pub mod report;
 pub mod simulation;

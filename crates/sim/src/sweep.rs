@@ -47,6 +47,8 @@ pub fn run_parallel(jobs: Vec<Job>, threads: usize) -> Vec<SimReport> {
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| loop {
+                    // ordering: Relaxed — a pure ticket counter; slot writes
+                    // are ordered by each slot's own mutex, not this atomic
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;

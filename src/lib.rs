@@ -56,6 +56,8 @@
 //! | [`agg`] (`pkg-agg`) | the second aggregation phase: `PartialAgg` accumulators, windows, two-phase bolts |
 //! | [`apps`] (`pkg-apps`) | word count, heavy hitters, naive Bayes, SPDT |
 
+#![forbid(unsafe_code)]
+
 pub use pkg_agg as agg;
 pub use pkg_apps as apps;
 pub use pkg_core as core;

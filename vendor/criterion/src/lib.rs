@@ -5,6 +5,8 @@
 //! when configured) is printed. Statistical outlier analysis, HTML reports
 //! and baseline comparison are intentionally out of scope.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

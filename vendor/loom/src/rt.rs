@@ -1,0 +1,407 @@
+//! The model-checking runtime: a controlled scheduler that serializes model
+//! threads (one runs at a time) and enumerates interleavings by DFS over a
+//! recorded schedule tree.
+//!
+//! Every shared-memory operation performed through [`crate::sync`] calls
+//! [`Scheduler::switch`] first, making it a *scheduling point*: the scheduler
+//! consults the recorded path (replay) or records a fresh branch listing every
+//! runnable thread that could run instead. After an iteration completes, the
+//! controller advances the deepest branch with an untried option and replays;
+//! when no branch can advance, the space is exhausted.
+//!
+//! Preemption bounding (CHESS-style): switching away from a *runnable* thread
+//! costs one unit of the preemption budget; switching because the current
+//! thread blocked or finished is free. With the budget exhausted, the only
+//! candidate at a scheduling point is the current thread, so no branch is
+//! recorded there — this is what keeps big state spaces tractable without
+//! losing the low-preemption schedules where most bugs live.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+/// Sentinel panic payload used to unwind model threads when the current
+/// iteration is abandoned (a violation was found, possibly by another
+/// thread). Never surfaces to user code: the per-thread wrapper catches it.
+pub(crate) struct Abort;
+
+/// What a model thread is currently able to do. The `usize` payloads are
+/// identities: the address of the contended primitive, or a thread id for
+/// joins.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    /// Blocked acquiring the model mutex with this identity.
+    BlockedMutex(usize),
+    /// Parked on the parker with this identity, no token pending.
+    BlockedPark(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One branch of the schedule tree: the runnable candidates observed at a
+/// scheduling point and which of them this iteration takes.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    options: Vec<usize>,
+    index: usize,
+}
+
+struct Core {
+    statuses: Vec<Status>,
+    /// The one thread allowed to run right now.
+    active: usize,
+    /// Schedule prefix: replayed up to `cursor`, extended past it.
+    path: Vec<Choice>,
+    cursor: usize,
+    preemptions: usize,
+    /// Every chosen thread id, in order — the witness schedule for reports.
+    decisions: Vec<usize>,
+    violation: Option<crate::Violation>,
+    /// OS threads (root + spawned) that have not yet exited their wrapper.
+    live_os_threads: usize,
+    /// Fresh branches recorded this iteration.
+    branches: u64,
+}
+
+/// Shared scheduler state for one model iteration.
+pub(crate) struct Scheduler {
+    core: Mutex<Core>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    preemption_bound: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler/thread-id pair for the calling thread, if it is a model
+/// thread. `None` means passthrough mode: the `sync` types behave like their
+/// `std` counterparts.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(sched: Arc<Scheduler>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+/// Install a process-wide panic-hook filter (once) that silences the [`Abort`]
+/// sentinel unwinds; real violation panics still print, which is useful
+/// context right before `check` returns the `Violation`.
+pub(crate) fn install_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Abort>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extract a printable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Body wrapper for every model thread (root and spawned): binds the
+/// thread-local scheduler handle, waits to be scheduled, runs `f`, and
+/// reports the outcome (finish, assertion violation, or abort).
+pub(crate) fn run_model_thread(sched: &Arc<Scheduler>, me: usize, f: impl FnOnce()) {
+    set_current(Arc::clone(sched), me);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        sched.wait_until_active(me);
+        f();
+    }));
+    match result {
+        Ok(()) => sched.finish_thread(me, None),
+        Err(payload) => {
+            if payload.is::<Abort>() {
+                sched.thread_aborted();
+            } else {
+                sched.finish_thread(me, Some(panic_message(payload.as_ref())));
+            }
+        }
+    }
+}
+
+impl Scheduler {
+    pub(crate) fn new(path: Vec<Choice>, preemption_bound: Option<usize>) -> Self {
+        Self {
+            core: Mutex::new(Core {
+                statuses: vec![Status::Runnable],
+                active: 0,
+                path,
+                cursor: 0,
+                preemptions: 0,
+                decisions: Vec::new(),
+                violation: None,
+                live_os_threads: 1,
+                branches: 0,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            preemption_bound,
+        }
+    }
+
+    fn lock_core(&self) -> MutexGuard<'_, Core> {
+        // The core lock is never held across a panic, but a poisoned std
+        // mutex would otherwise wedge the whole harness — recover the guard.
+        match self.core.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Park the calling OS thread until the scheduler makes it active.
+    /// Unwinds with [`Abort`] if the iteration is being abandoned.
+    pub(crate) fn wait_until_active(&self, me: usize) {
+        let mut core = self.lock_core();
+        loop {
+            if core.violation.is_some() {
+                drop(core);
+                panic::panic_any(Abort);
+            }
+            if core.active == me {
+                return;
+            }
+            core = match self.cv.wait(core) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Pick the next thread at a scheduling point. `current_runnable` is
+    /// false when the current thread just blocked or finished (such switches
+    /// are free under the preemption bound). Returns `None` on deadlock.
+    fn decide(&self, core: &mut Core, current: usize, current_runnable: bool) -> Option<usize> {
+        let mut candidates: Vec<usize> = Vec::new();
+        if current_runnable {
+            // Prefer staying on the current thread; alternatives are only on
+            // the table while preemption budget remains.
+            candidates.push(current);
+            if self.preemption_bound.is_none_or(|bound| core.preemptions < bound) {
+                candidates.extend(runnable_except(&core.statuses, current));
+            }
+        } else {
+            candidates.extend(runnable_except(&core.statuses, usize::MAX));
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let chosen = if candidates.len() == 1 {
+            // Forced moves are not branches: recording them would bloat the
+            // path without adding schedules.
+            candidates[0]
+        } else if core.cursor < core.path.len() {
+            let choice = &core.path[core.cursor];
+            debug_assert_eq!(
+                choice.options, candidates,
+                "schedule replay diverged: the model body is not deterministic"
+            );
+            core.cursor += 1;
+            choice.options[choice.index]
+        } else {
+            core.path.push(Choice { options: candidates, index: 0 });
+            core.cursor += 1;
+            core.branches += 1;
+            core.path[core.cursor - 1].options[0]
+        };
+        if current_runnable && chosen != current {
+            core.preemptions += 1;
+        }
+        core.decisions.push(chosen);
+        Some(chosen)
+    }
+
+    /// A scheduling point: called before every shared-memory operation. May
+    /// hand control to another thread and not return until control comes
+    /// back.
+    pub(crate) fn switch(&self, me: usize) {
+        let mut core = self.lock_core();
+        if core.violation.is_some() {
+            drop(core);
+            panic::panic_any(Abort);
+        }
+        debug_assert_eq!(core.active, me, "only the active thread reaches scheduling points");
+        let Some(next) = self.decide(&mut core, me, true) else {
+            unreachable!("the current thread is always a candidate while runnable");
+        };
+        if next != me {
+            core.active = next;
+            self.cv.notify_all();
+            drop(core);
+            self.wait_until_active(me);
+        }
+    }
+
+    /// Mark the calling thread blocked with `status` and hand control away.
+    /// Returns once another thread made it runnable and the scheduler picked
+    /// it again. Declares a deadlock violation if nothing is runnable.
+    pub(crate) fn block(&self, me: usize, status: Status) {
+        let mut core = self.lock_core();
+        if core.violation.is_some() {
+            drop(core);
+            panic::panic_any(Abort);
+        }
+        core.statuses[me] = status;
+        match self.decide(&mut core, me, false) {
+            Some(next) => {
+                core.active = next;
+                self.cv.notify_all();
+                drop(core);
+                self.wait_until_active(me);
+            }
+            None => {
+                core.violation = Some(crate::Violation {
+                    message: format!("deadlock: {}", describe(&core.statuses)),
+                    schedule: core.decisions.clone(),
+                });
+                self.cv.notify_all();
+                drop(core);
+                panic::panic_any(Abort);
+            }
+        }
+    }
+
+    /// Make every thread whose status matches `pred` runnable again. The
+    /// woken threads actually run when a later scheduling point picks them.
+    pub(crate) fn unblock_where(&self, pred: impl Fn(Status) -> bool) {
+        let mut core = self.lock_core();
+        for status in &mut core.statuses {
+            if pred(*status) {
+                *status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Register a newly spawned model thread; returns its thread id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut core = self.lock_core();
+        let tid = core.statuses.len();
+        core.statuses.push(Status::Runnable);
+        core.live_os_threads += 1;
+        tid
+    }
+
+    pub(crate) fn add_handle(&self, handle: std::thread::JoinHandle<()>) {
+        match self.handles.lock() {
+            Ok(mut guard) => guard.push(handle),
+            Err(poisoned) => poisoned.into_inner().push(handle),
+        }
+    }
+
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.lock_core().statuses[tid] == Status::Finished
+    }
+
+    /// Called by a thread's wrapper on completion. `panic_msg` carries a user
+    /// assertion failure, which becomes the iteration's violation.
+    fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
+        let mut core = self.lock_core();
+        core.statuses[me] = Status::Finished;
+        core.live_os_threads -= 1;
+        if let Some(message) = panic_msg {
+            if core.violation.is_none() {
+                core.violation =
+                    Some(crate::Violation { message, schedule: core.decisions.clone() });
+            }
+            self.cv.notify_all();
+            return;
+        }
+        for status in &mut core.statuses {
+            if *status == Status::BlockedJoin(me) {
+                *status = Status::Runnable;
+            }
+        }
+        if core.statuses.iter().all(|s| *s == Status::Finished) {
+            self.cv.notify_all();
+            return;
+        }
+        match self.decide(&mut core, me, false) {
+            Some(next) => {
+                core.active = next;
+                self.cv.notify_all();
+            }
+            None => {
+                // Everything left is blocked and nothing can ever wake it.
+                core.violation = Some(crate::Violation {
+                    message: format!("deadlock: {}", describe(&core.statuses)),
+                    schedule: core.decisions.clone(),
+                });
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Called by a thread's wrapper after an [`Abort`] unwind.
+    fn thread_aborted(&self) {
+        let mut core = self.lock_core();
+        core.live_os_threads -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Controller: wait for every model OS thread to exit its wrapper.
+    pub(crate) fn wait_all_exited(&self) {
+        let mut core = self.lock_core();
+        while core.live_os_threads > 0 {
+            core = match self.cv.wait(core) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    pub(crate) fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        match self.handles.lock() {
+            Ok(mut guard) => std::mem::take(&mut *guard),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        }
+    }
+
+    /// Controller: collect the explored path, any violation, and the number
+    /// of fresh branches this iteration recorded.
+    pub(crate) fn take_results(&self) -> (Vec<Choice>, Option<crate::Violation>, u64) {
+        let mut core = self.lock_core();
+        (std::mem::take(&mut core.path), core.violation.take(), core.branches)
+    }
+}
+
+fn runnable_except(statuses: &[Status], skip: usize) -> impl Iterator<Item = usize> + '_ {
+    statuses
+        .iter()
+        .enumerate()
+        .filter(move |&(tid, status)| tid != skip && *status == Status::Runnable)
+        .map(|(tid, _)| tid)
+}
+
+fn describe(statuses: &[Status]) -> String {
+    let parts: Vec<String> =
+        statuses.iter().enumerate().map(|(tid, s)| format!("t{tid}={s:?}")).collect();
+    parts.join(", ")
+}
+
+/// DFS backtrack: bump the deepest branch with an untried option, discarding
+/// everything recorded below it. Returns false when the tree is exhausted.
+pub(crate) fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.index + 1 < last.options.len() {
+            last.index += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}

@@ -1,0 +1,340 @@
+//! Model-aware drop-in replacements for the `std::sync` subset the engine's
+//! pool executor uses: `Mutex`, `atomic::{AtomicU8, AtomicUsize}`, and the
+//! crossbeam-style `Parker`/`Unparker` pair.
+//!
+//! Outside [`crate::model`] these behave exactly like their `std` (or
+//! vendored-crossbeam) counterparts — passthrough mode, so code built against
+//! them still runs normally in ordinary tests. Inside a model run, every
+//! operation is a scheduling point and blocking goes through the controlled
+//! scheduler instead of the OS, which is what lets the checker enumerate
+//! interleavings and detect deadlocks.
+
+use crate::rt::{self, Status};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
+
+pub use std::sync::{LockResult, PoisonError};
+
+fn flag_lock(flag: &StdMutex<bool>) -> std::sync::MutexGuard<'_, bool> {
+    match flag.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A mutex that, under the model, blocks through the controlled scheduler.
+///
+/// Layout: `locked` is the model-visible ownership flag (its address is the
+/// contention identity); `data` holds the protected value and is only ever
+/// acquired uncontended (the scheduler serializes threads, and the flag is
+/// published strictly after the inner guard is released).
+pub struct Mutex<T> {
+    locked: StdMutex<bool>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self { locked: StdMutex::new(false), data: StdMutex::new(value) }
+    }
+
+    fn contention_id(&self) -> usize {
+        std::ptr::from_ref(&self.locked) as usize
+    }
+
+    /// Acquire the lock. Always returns `Ok` under the model (a model thread
+    /// that panics aborts the whole iteration, so poisoning cannot be
+    /// observed); passthrough mode mirrors `std` poisoning.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            None => match self.data.lock() {
+                Ok(data) => Ok(MutexGuard { data: Some(data), model: None }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    data: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            },
+            Some((sched, me)) => {
+                let id = self.contention_id();
+                loop {
+                    sched.switch(me);
+                    let mut locked = flag_lock(&self.locked);
+                    if !*locked {
+                        *locked = true;
+                        break;
+                    }
+                    drop(locked);
+                    sched.block(me, Status::BlockedMutex(id));
+                }
+                let data = match self.data.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                Ok(MutexGuard { data: Some(data), model: Some((sched, &self.locked, id)) })
+            }
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.data.into_inner() {
+            Ok(value) => Ok(value),
+            Err(poisoned) => Err(PoisonError::new(poisoned.into_inner())),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("data", &self.data).finish()
+    }
+}
+
+/// Guard for [`Mutex`]. On drop under the model: release the inner `std`
+/// guard first, then clear the ownership flag and make blocked threads
+/// runnable — all without a scheduling point, so the release is atomic from
+/// the model's perspective (sound: releasing at the owner's *next* scheduling
+/// point is indistinguishable, since only thread-local work happens between).
+pub struct MutexGuard<'a, T> {
+    data: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<rt::Scheduler>, &'a StdMutex<bool>, usize)>,
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((sched, flag, id)) = self.model.take() {
+            self.data = None;
+            {
+                let mut locked = flag_lock(flag);
+                *locked = false;
+            }
+            sched.unblock_where(move |s| s == Status::BlockedMutex(id));
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.data {
+            Some(guard) => guard,
+            None => unreachable!("guard data is only taken during drop"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.data {
+            Some(guard) => guard,
+            None => unreachable!("guard data is only taken during drop"),
+        }
+    }
+}
+
+pub mod atomic {
+    //! Model-aware atomics. Under the model every operation is a scheduling
+    //! point, and all operations are performed sequentially consistent
+    //! regardless of the caller's `Ordering`: the checker explores the
+    //! SC interleaving space only (weak-memory reorderings are out of scope),
+    //! which is why the engine keeps `SeqCst` at every site the model is the
+    //! correctness argument for.
+
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    fn switch_point() {
+        if let Some((sched, me)) = rt::current() {
+            sched.switch(me);
+        }
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ident, $int:ty) => {
+            /// Model-aware counterpart of the std atomic of the same name.
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                pub const fn new(value: $int) -> Self {
+                    Self(std::sync::atomic::$std::new(value))
+                }
+
+                pub fn load(&self, _order: Ordering) -> $int {
+                    switch_point();
+                    // ordering: model mode collapses to SeqCst by design
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                pub fn store(&self, value: $int, _order: Ordering) {
+                    switch_point();
+                    // ordering: model mode collapses to SeqCst by design
+                    self.0.store(value, Ordering::SeqCst);
+                }
+
+                pub fn swap(&self, value: $int, _order: Ordering) -> $int {
+                    switch_point();
+                    // ordering: model mode collapses to SeqCst by design
+                    self.0.swap(value, Ordering::SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    switch_point();
+                    // ordering: model mode collapses to SeqCst by design
+                    self.0.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                pub fn fetch_add(&self, value: $int, _order: Ordering) -> $int {
+                    switch_point();
+                    // ordering: model mode collapses to SeqCst by design
+                    self.0.fetch_add(value, Ordering::SeqCst)
+                }
+
+                pub fn fetch_sub(&self, value: $int, _order: Ordering) -> $int {
+                    switch_point();
+                    // ordering: model mode collapses to SeqCst by design
+                    self.0.fetch_sub(value, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicU8, AtomicU8, u8);
+    model_atomic!(AtomicUsize, AtomicUsize, usize);
+}
+
+struct ParkerInner {
+    token: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl ParkerInner {
+    fn contention_id(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+}
+
+/// Model-aware counterpart of the vendored crossbeam `Parker`: token-based
+/// park/unpark with no lost-wakeup hazard. The parking side; owned by one
+/// thread.
+pub struct Parker {
+    inner: Arc<ParkerInner>,
+}
+
+/// The waking side; cloneable and shareable across threads.
+#[derive(Clone)]
+pub struct Unparker {
+    inner: Arc<ParkerInner>,
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parker {
+    /// A parker with no token pending.
+    pub fn new() -> Self {
+        Self { inner: Arc::new(ParkerInner { token: StdMutex::new(false), cv: Condvar::new() }) }
+    }
+
+    /// The waking handle for this parker.
+    pub fn unparker(&self) -> Unparker {
+        Unparker { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Block until unparked; consumes the token (a pending unpark makes this
+    /// return immediately).
+    pub fn park(&self) {
+        match rt::current() {
+            None => {
+                let mut token = flag_lock(&self.inner.token);
+                while !*token {
+                    token = match self.inner.cv.wait(token) {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+                *token = false;
+            }
+            Some((sched, me)) => {
+                let id = self.inner.contention_id();
+                loop {
+                    sched.switch(me);
+                    let mut token = flag_lock(&self.inner.token);
+                    if *token {
+                        *token = false;
+                        return;
+                    }
+                    drop(token);
+                    sched.block(me, Status::BlockedPark(id));
+                }
+            }
+        }
+    }
+
+    /// Like [`Parker::park`] with a timeout; returns whether it was unparked
+    /// (vs. timed out). Under the model the timeout *never* fires: a park
+    /// that no schedule unparks is reported as a deadlock, which is exactly
+    /// the discipline the engine wants — timeouts are a liveness backstop,
+    /// never load-bearing for correctness.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        match rt::current() {
+            None => {
+                let deadline = std::time::Instant::now() + timeout;
+                let mut token = flag_lock(&self.inner.token);
+                while !*token {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    if left.is_zero() {
+                        return false;
+                    }
+                    token = match self.inner.cv.wait_timeout(token, left) {
+                        Ok((guard, _)) => guard,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    };
+                }
+                *token = false;
+                true
+            }
+            Some(_) => {
+                self.park();
+                true
+            }
+        }
+    }
+}
+
+impl Unparker {
+    /// Wake the parked thread (or pre-arm the token if it is not parked yet).
+    pub fn unpark(&self) {
+        match rt::current() {
+            None => {
+                let mut token = flag_lock(&self.inner.token);
+                *token = true;
+                self.inner.cv.notify_one();
+            }
+            Some((sched, me)) => {
+                sched.switch(me);
+                {
+                    let mut token = flag_lock(&self.inner.token);
+                    *token = true;
+                }
+                let id = self.inner.contention_id();
+                sched.unblock_where(move |s| s == Status::BlockedPark(id));
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Model-aware threads. `spawn` registers a new model thread with the
+//! controlled scheduler and is itself a scheduling point (the child may be
+//! scheduled before the parent continues). Only usable inside
+//! [`crate::model`] — passthrough code should use `std::thread` directly.
+
+use crate::rt::{self, Status};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawn a model thread running `f`.
+///
+/// # Panics
+/// Panics if called outside a model run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((sched, me)) = rt::current() else {
+        panic!("pkg_model::thread::spawn outside model(); use std::thread instead");
+    };
+    let tid = sched.register_thread();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let child_sched = Arc::clone(&sched);
+    let os_handle = std::thread::Builder::new()
+        .name(format!("pkg-model-{tid}"))
+        .spawn(move || {
+            rt::run_model_thread(&child_sched, tid, move || {
+                let value = f();
+                let mut guard = match slot.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *guard = Some(value);
+            });
+        })
+        .expect("spawn model OS thread");
+    sched.add_handle(os_handle);
+    sched.switch(me);
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value. Unlike
+    /// `std::thread::JoinHandle::join` this returns `T` directly: a child
+    /// that panics is a model violation and aborts the whole iteration, so
+    /// the error arm cannot be observed here.
+    pub fn join(self) -> T {
+        let Some((sched, me)) = rt::current() else {
+            panic!("pkg_model::thread::JoinHandle::join outside model()");
+        };
+        loop {
+            sched.switch(me);
+            if sched.is_finished(self.tid) {
+                break;
+            }
+            // Not finished, and no other thread can finish it between the
+            // check above and blocking here: we are the only running thread.
+            sched.block(me, Status::BlockedJoin(self.tid));
+        }
+        let value = {
+            let mut guard = match self.result.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.take()
+        };
+        match value {
+            Some(v) => v,
+            None => unreachable!("finished model threads always store their value"),
+        }
+    }
+}
+
+/// A pure scheduling point: yields to the scheduler under the model, to the
+/// OS otherwise.
+pub fn yield_now() {
+    match rt::current() {
+        Some((sched, me)) => sched.switch(me),
+        None => std::thread::yield_now(),
+    }
+}

@@ -9,6 +9,8 @@
 //! message, and because cases are deterministic per (test name, case
 //! index), rerunning the test reproduces the failure exactly.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 pub use rand::Rng;
 use rand::SeedableRng;

@@ -5,6 +5,8 @@
 //! uses on 64-bit targets). Streams are deterministic per seed but are not
 //! bit-compatible with the real crate.
 
+#![forbid(unsafe_code)]
+
 /// Types that can be sampled uniformly from their "standard" distribution:
 /// integers over their full range, `f64`/`f32` over `[0, 1)`, `bool` fair.
 pub trait StandardSample: Sized {
