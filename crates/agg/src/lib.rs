@@ -43,6 +43,7 @@
 
 pub mod accumulators;
 pub mod bolts;
+pub mod elastic;
 pub mod histogram_sketch;
 pub mod partial;
 pub mod spacesaving;
@@ -53,6 +54,7 @@ pub use bolts::{
     AggScope, AggregatorBolt, Collector, CollectorBolt, ServiceDelay, WindowedWorkerBolt,
     GLOBAL_KEY,
 };
+pub use elastic::ElasticWorkerBolt;
 pub use histogram_sketch::BhHistogram;
 pub use partial::{canonical_merge, PartialAgg};
 pub use spacesaving::SpaceSaving;

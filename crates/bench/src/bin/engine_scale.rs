@@ -217,8 +217,36 @@ fn main() {
     out.push('\n');
     out.push_str(&tsv);
     pkg_bench::emit("engine_scale.tsv", &out);
-    if !ok {
+    if ok {
+        append_trajectory(smoke, &results);
+    } else {
         eprintln!("engine_scale: checks FAILED");
         std::process::exit(1);
     }
+}
+
+/// Append this run's tuples/sec to the in-repo perf-trajectory log
+/// (`BENCH_engine.json` at the workspace root, overridable with
+/// `PKG_BENCH_LOG`), so throughput history is tracked commit over commit.
+fn append_trajectory(smoke: bool, results: &[(usize, &'static str, Measurement)]) {
+    let path = std::env::var("PKG_BENCH_LOG").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut rec =
+        format!("{{\"unix_time\": {unix}, \"seed\": {}, \"smoke\": {smoke}, \"points\": [", seed());
+    for (i, (instances, label, m)) in results.iter().enumerate() {
+        if i > 0 {
+            rec.push_str(", ");
+        }
+        let _ = write!(
+            rec,
+            "{{\"instances\": {instances}, \"mode\": \"{label}\", \"tuples_per_sec\": {:.0}}}",
+            m.counter_tput
+        );
+    }
+    rec.push_str("]}");
+    let path = std::path::PathBuf::from(path);
+    pkg_bench::append_json_record(&path, &rec);
+    eprintln!("[appended to {}]", path.display());
 }

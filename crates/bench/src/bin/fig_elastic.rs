@@ -1,0 +1,253 @@
+//! **Elastic reconfiguration** — runtime worker membership with key-space
+//! migration, exercised end to end and gated hard.
+//!
+//! The paper fixes the worker set for the lifetime of a run; `pkg-elastic`
+//! lifts that: a [`MembershipPlan`] scripts join/leave steps at message
+//! thresholds, the partitioners confine routing to the live set, and the
+//! engine migrates a departing instance's window state to the survivors
+//! over the migration bus (see `pkg_engine::elastic` /
+//! `pkg_agg::ElasticWorkerBolt`). This driver **halves then doubles** the
+//! live worker set mid-stream and exits non-zero unless every gate holds:
+//!
+//! 1. **Tuple conservation** (engine) — every spout tuple is processed
+//!    exactly once: Σ worker `processed` equals spout emissions plus the
+//!    in-band epoch markers (`S × W` per membership step), and every
+//!    migration-bus message posted is drained.
+//! 2. **Byte-identity to a static-W oracle** (engine) — the merged
+//!    second-phase output (key, value, payload triples; birth timestamps
+//!    excluded) of the elastic run equals a plain fixed-W PKG run of the
+//!    same stream: migration neither loses, duplicates, nor corrupts
+//!    state.
+//! 3. **Bounded re-convergence** (sim) — after each membership change the
+//!    imbalance fraction measured over tumbling windows of recent traffic
+//!    returns inside the pre-change band (2× epoch 0's trailing-window
+//!    fraction, floored at 1%) within the epoch, and the moment it does is
+//!    reported.
+//!
+//! Threshold semantics differ by arm, deliberately: the simulator applies
+//! membership steps on the *global* routed-message count (all sources
+//! switch atomically), while the engine is distributed — each sender
+//! crosses a threshold on its *own* routed count and announces it with an
+//! in-band marker, so epochs overlap and the migration protocol has real
+//! in-flight traffic to preserve.
+//!
+//! `--smoke` shrinks both arms and keeps every gate; CI runs it under both
+//! `PKG_ENGINE_EXECUTOR` values.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pkg_agg::{AggregatorBolt, Collector, ElasticWorkerBolt, Sum, WindowedWorkerBolt};
+use pkg_bench::{seed, TextTable};
+use pkg_core::{EstimateKind, SchemeSpec};
+use pkg_datagen::DatasetProfile;
+use pkg_elastic::{Change, MembershipPlan};
+use pkg_engine::prelude::*;
+use pkg_engine::MigrationBus;
+use pkg_sim::{run as sim_run, SimConfig};
+
+/// Fixed id space: the full worker set.
+const W: usize = 6;
+/// Spout/source parallelism.
+const S: usize = 4;
+/// The live set is halved by removing the upper indices, then restored.
+const HALF: [Change; 3] = [Change::Remove(3), Change::Remove(4), Change::Remove(5)];
+const BACK: [Change; 3] = [Change::Insert(3), Change::Insert(4), Change::Insert(5)];
+
+/// Halve the live set at `at1`, double it back at `at2` (thresholds are
+/// per-sender counts in the engine arm, global counts in the sim arm).
+fn plan(at1: u64, at2: u64) -> MembershipPlan {
+    MembershipPlan::new(W).with_step(at1, HALF).with_step(at2, BACK)
+}
+
+/// A skewed word stream for source `s`: ~20% of traffic on one hot key,
+/// the rest cycling a 997-word tail (disjoint offsets per source).
+fn stream(s: usize, n: u64) -> Vec<Tuple> {
+    (0..n)
+        .map(|j| {
+            let key = if j % 5 == 0 {
+                b"k-hot".to_vec()
+            } else {
+                format!("k{}", 1 + (j * S as u64 + s as u64) % 997).into_bytes()
+            };
+            Tuple::new(key, 1)
+        })
+        .collect()
+}
+
+/// The byte-identity comparison shape: (key, value, payload), with the
+/// wall-clock `born_ns` excluded.
+type Triple = (Box<[u8]>, i64, Box<[u8]>);
+
+/// Collected aggregator output as [`Triple`]s.
+fn triples(c: &Collector) -> Vec<Triple> {
+    c.tuples().into_iter().map(|t| (t.key, t.value, t.payload)).collect()
+}
+
+/// Run the two-phase word count over `per_source` tuples per spout; elastic
+/// arm when a plan is given, static-W PKG oracle otherwise. Returns the
+/// collected output, the run stats, and the migration bus (elastic arm).
+fn engine_run(
+    per_source: u64,
+    the_plan: Option<MembershipPlan>,
+) -> (Collector, pkg_engine::RunStats, Option<MigrationBus>) {
+    let collector = Collector::new();
+    let mut topo = Topology::new();
+    let src = topo
+        .add_spout("src", S, move |s| pkg_engine::spout::spout_from_iter(stream(s, per_source)));
+    let bus = the_plan.as_ref().map(|_| MigrationBus::new(W));
+    let worker = match &the_plan {
+        Some(p) => {
+            let plan = Arc::new(p.clone());
+            let bus = bus.clone().expect("bus built with the plan");
+            let worker_seed = seed();
+            topo.add_bolt("worker", W, move |i| {
+                Box::new(
+                    ElasticWorkerBolt::<Sum>::new(
+                        i,
+                        S,
+                        Arc::clone(&plan),
+                        bus.clone(),
+                        worker_seed,
+                    )
+                    .panes_every_ticks(2),
+                )
+            })
+            .input(src, Grouping::elastic(p.clone()))
+        }
+        None => topo
+            .add_bolt("worker", W, |_| {
+                Box::new(WindowedWorkerBolt::<Sum>::per_key().panes_every_ticks(2))
+            })
+            .input(src, Grouping::partial_key()),
+    }
+    .tick_every(Duration::from_millis(2))
+    .id();
+    let agg = topo
+        .add_bolt("agg", 1, |_| Box::new(AggregatorBolt::<Sum>::new()))
+        .input(worker, Grouping::Key)
+        .id();
+    let c = collector.clone();
+    let _sink = topo.add_bolt("sink", 1, move |_| c.bolt()).input(agg, Grouping::Global);
+
+    let mut options = RuntimeOptions { seed: seed(), ..RuntimeOptions::default() };
+    if let ExecutorMode::Pool { workers, .. } = &mut options.executor {
+        // The gated finish polls the migration bus on a pool worker thread;
+        // keep enough workers that departers always have one to run on.
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        *workers = (*workers).max(cores.max(4));
+    }
+    let stats = Runtime::with_options(options).run(topo);
+    (collector, stats, bus)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let per_source: u64 = if smoke { 5_000 } else { 30_000 };
+    let sim_messages: u64 = if smoke { 45_000 } else { 120_000 };
+
+    let mut out = String::from(
+        "# fig_elastic: halve-then-double worker membership with key-space migration\n",
+    );
+    let _ = writeln!(
+        out,
+        "# W={W} S={S} seed={} engine_per_source={per_source} sim_messages={sim_messages}{}",
+        seed(),
+        if smoke { " (smoke)" } else { "" },
+    );
+    let mut ok = true;
+
+    // ---- Engine arm: migration protocol under real concurrency ----------
+    let engine_plan = plan(per_source / 3, 2 * per_source / 3);
+    let epochs = u64::from(engine_plan.epochs());
+    let (elastic, elastic_stats, bus) = engine_run(per_source, Some(engine_plan));
+    let (oracle, oracle_stats, _) = engine_run(per_source, None);
+    let bus = bus.expect("elastic arm has a bus");
+
+    // Gate 1: exact tuple conservation. Workers see every spout tuple plus
+    // one marker per sender per membership step, and the bus drains fully.
+    let spout_total = S as u64 * per_source;
+    let markers = S as u64 * (epochs - 1) * W as u64;
+    let (sent, received) = bus.totals();
+    let conserved = elastic_stats.processed("worker") == spout_total + markers
+        && oracle_stats.processed("worker") == spout_total
+        && sent == received
+        && sent > 0;
+    let _ = writeln!(
+        out,
+        "check: conservation — worker processed {} == {spout_total} tuples + {markers} markers; \
+         bus sent {sent} == received {received} .. {}",
+        elastic_stats.processed("worker"),
+        if conserved { "OK" } else { "FAIL" }
+    );
+    ok &= conserved;
+
+    // Gate 2: byte-identity of the merged output to the static-W oracle.
+    let (et, ot) = (triples(&elastic), triples(&oracle));
+    let identical = et == ot && !et.is_empty();
+    let _ = writeln!(
+        out,
+        "check: elastic merged output byte-identical to static-W oracle \
+         ({} keys) .. {}",
+        et.len(),
+        if identical { "OK" } else { "FAIL" }
+    );
+    if !identical {
+        for (a, b) in et.iter().zip(&ot).filter(|(a, b)| a != b).take(5) {
+            let _ = writeln!(out, "  diverged: elastic {a:?} vs oracle {b:?}");
+        }
+    }
+    ok &= identical;
+
+    // ---- Sim arm: re-convergence measurement over the same schedule ------
+    // The paper's LN2 profile: skewed enough that the rejoin catch-up
+    // transient is visible, mild enough that both the halved and the full
+    // live set balance to a small structural fraction — so the band gate
+    // measures the *transient*, not residual skew.
+    let spec = DatasetProfile::lognormal2().with_messages(sim_messages).build(seed());
+    // Thresholds at m/6 and m/3: after the rejoin the greedy scheme floods
+    // the returning workers until their load estimates reach parity — a
+    // transient of roughly twice the halved epoch's length — so the final
+    // epoch needs comfortably more room than that.
+    let cfg = SimConfig::new(W, S, SchemeSpec::pkg(EstimateKind::Local))
+        .with_seed(seed())
+        .with_membership_plan(plan(sim_messages / 6, sim_messages / 3));
+    let report = sim_run(&spec, &cfg);
+    let stats = report.epochs.as_ref().expect("membership plan produces epoch stats");
+
+    let mut table = TextTable::new();
+    table.row(["epoch", "live", "messages", "final_frac", "band", "converged_after"]);
+    for e in stats {
+        table.row([
+            e.epoch.to_string(),
+            format!("{:?}", e.live),
+            e.messages.to_string(),
+            format!("{:.4}", e.final_fraction),
+            format!("{:.4}", e.band),
+            e.converged_after.map_or("-".into(), |m| m.to_string()),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    // Gate 3: every post-change epoch re-enters the pre-change band within
+    // the epoch, and ends inside it.
+    let conserved_sim = report.worker_loads.iter().sum::<u64>() == sim_messages
+        && stats.len() == 3
+        && stats.iter().map(|e| e.messages).sum::<u64>() == sim_messages;
+    let reconverged = conserved_sim
+        && stats[1..].iter().all(|e| e.converged_after.is_some() && e.final_fraction <= e.band);
+    let _ = writeln!(
+        out,
+        "check: imbalance re-converges into the pre-change band after every \
+         membership change .. {}",
+        if reconverged { "OK" } else { "FAIL" }
+    );
+    ok &= reconverged;
+
+    pkg_bench::emit("fig_elastic.tsv", &out);
+    if !ok {
+        eprintln!("fig_elastic: checks FAILED");
+        std::process::exit(1);
+    }
+}

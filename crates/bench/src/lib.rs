@@ -69,6 +69,30 @@ pub fn emit(name: &str, contents: &str) {
     eprintln!("[written {}]", path.display());
 }
 
+/// Append one JSON `record` (an object literal) to the JSON-array log at
+/// `path`, creating the file as a one-element array when absent. The log is
+/// append-only by construction — existing entries are never rewritten — so
+/// a committed file tracks a perf trajectory across commits.
+pub fn append_json_record(path: &std::path::Path, record: &str) {
+    let body = match fs::read_to_string(path) {
+        Ok(s) => {
+            let head = s
+                .trim_end()
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{}: not a JSON array log", path.display()))
+                .trim_end()
+                .to_string();
+            if head.ends_with('[') {
+                format!("{head}\n  {record}\n]\n")
+            } else {
+                format!("{head},\n  {record}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n  {record}\n]\n"),
+    };
+    fs::write(path, body).expect("bench log is writable");
+}
+
 /// A minimal fixed-width table builder for terminal output.
 #[derive(Debug, Default)]
 pub struct TextTable {
@@ -132,6 +156,17 @@ mod tests {
         assert_eq!(paper_num(0.8), "0.8");
         assert_eq!(paper_num(92.7), "92.7");
         assert_eq!(paper_num(1_600_000.0), "1.6e6");
+    }
+
+    #[test]
+    fn json_log_appends_records_in_order() {
+        let path = std::env::temp_dir().join(format!("pkg_bench_log_{}.json", std::process::id()));
+        let _ = fs::remove_file(&path);
+        append_json_record(&path, r#"{"run": 1}"#);
+        append_json_record(&path, r#"{"run": 2}"#);
+        let log = fs::read_to_string(&path).expect("log written");
+        assert_eq!(log, "[\n  {\"run\": 1},\n  {\"run\": 2}\n]\n");
+        let _ = fs::remove_file(&path);
     }
 
     #[test]

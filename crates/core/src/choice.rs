@@ -35,7 +35,7 @@ use pkg_metrics::Capacities;
 
 use crate::estimator::Estimate;
 use crate::head_tracker::HeadTracker;
-use crate::partitioner::Partitioner;
+use crate::partitioner::{check_membership, Partitioner};
 
 /// Default relative imbalance target `ε` (per-worker load within
 /// `(1+ε)/W` of the stream). The sweeps of `fig_dchoices` gate the achieved
@@ -103,6 +103,11 @@ pub struct AdaptiveChoices {
     /// Per-worker capacity weights: every argmin (tail greedy-2, head
     /// sequence, W-Choices global) compares `L_i/c_i` when attached.
     capacities: Option<Capacities>,
+    /// Live membership subset of `0..n` (pkg-elastic); `None` is the
+    /// untouched fixed-`W` fast path. When set, `theta` and `d_for` are
+    /// computed over the live count and candidates land only on live
+    /// workers.
+    live: Option<Vec<usize>>,
     /// Member seeds of the key hash sequence, `seeds[0..2]` identical to
     /// PKG's two-choice family under the same experiment seed.
     seeds: Vec<u64>,
@@ -128,6 +133,7 @@ impl AdaptiveChoices {
             estimate,
             tracker: HeadTracker::for_threshold(theta.min(1.0)),
             capacities: None,
+            live: None,
             seeds: (0..n as u64).map(|i| member_seed(seed, i)).collect(),
         }
     }
@@ -167,22 +173,34 @@ impl AdaptiveChoices {
         &self.tracker
     }
 
-    /// Member `i` of `key`'s hash sequence, reduced to `[0, n)`.
+    /// Number of workers the scheme currently routes over: the live count
+    /// under a membership subset, `n` otherwise.
+    #[inline]
+    fn w_count(&self) -> usize {
+        self.live.as_ref().map_or(self.n, Vec::len)
+    }
+
+    /// Member `i` of `key`'s hash sequence, reduced onto the current
+    /// membership (all of `[0, n)` when never resized).
     #[inline]
     fn choice(&self, i: usize, key: u64) -> usize {
-        (key.hash_seeded(self.seeds[i]) % self.n as u64) as usize
+        match &self.live {
+            None => (key.hash_seeded(self.seeds[i]) % self.n as u64) as usize,
+            Some(live) => live[(key.hash_seeded(self.seeds[i]) % live.len() as u64) as usize],
+        }
     }
 
     /// How the *next* message of `key` will route: `None` for a tail key
-    /// (the plain two-choice path), `Some(d)` for a head key (`d = n`
-    /// meaning all workers).
+    /// (the plain two-choice path), `Some(d)` for a head key (`d = w`
+    /// meaning all live workers).
     fn next_head_d(&self, key: u64) -> Option<usize> {
         if !self.tracker.next_is_head(key, self.theta) {
             return None;
         }
+        let w = self.w_count();
         Some(match self.strategy {
-            ChoiceStrategy::WChoices => self.n,
-            ChoiceStrategy::DChoices => self.config.d_for(self.tracker.next_frequency(key), self.n),
+            ChoiceStrategy::WChoices => w,
+            ChoiceStrategy::DChoices => self.config.d_for(self.tracker.next_frequency(key), w),
         })
     }
 
@@ -204,13 +222,18 @@ impl AdaptiveChoices {
         best
     }
 
-    /// Globally least-loaded worker (W-Choices head path); ties break
-    /// toward the lower index.
+    /// Least-loaded live worker (W-Choices head path); ties break toward
+    /// the lower index.
     #[inline]
     fn argmin_all(&mut self, ts_ms: u64) -> usize {
-        let mut best = 0;
-        let mut best_load = self.estimate.load(0, ts_ms);
-        for c in 1..self.n {
+        let m = self.w_count();
+        let mut best = self.live.as_ref().map_or(0, |live| live[0]);
+        let mut best_load = self.estimate.load(best, ts_ms);
+        for i in 1..m {
+            let c = match &self.live {
+                None => i,
+                Some(live) => live[i],
+            };
             let l = self.estimate.load(c, ts_ms);
             if pkg_metrics::prefers(self.capacities.as_ref(), l, c, best_load, best) {
                 best = c;
@@ -225,12 +248,13 @@ impl Partitioner for AdaptiveChoices {
     fn route(&mut self, key: u64, ts_ms: u64) -> usize {
         let head_d = self.next_head_d(key);
         self.tracker.observe(key);
+        let w_count = self.w_count();
         let w = match head_d {
             // Tail: exactly PKG's greedy-2 over the first two sequence
             // members (ties toward the earlier member), so on streams with
             // no head keys the scheme is byte-identical to PKG.
-            None => self.argmin_sequence(key, 2.min(self.n), ts_ms),
-            Some(d) if d >= self.n => self.argmin_all(ts_ms),
+            None => self.argmin_sequence(key, 2.min(w_count), ts_ms),
+            Some(d) if d >= w_count => self.argmin_all(ts_ms),
             Some(d) => self.argmin_sequence(key, d, ts_ms),
         };
         self.estimate.record(w);
@@ -254,11 +278,29 @@ impl Partitioner for AdaptiveChoices {
     /// `candidates(k)` immediately followed by `route(k, _)` always
     /// contains the routed worker.
     fn candidates(&self, key: u64) -> Vec<usize> {
+        let w_count = self.w_count();
         match self.next_head_d(key) {
-            None => (0..2.min(self.n)).map(|i| self.choice(i, key)).collect(),
-            Some(d) if d >= self.n => (0..self.n).collect(),
+            None => (0..2.min(w_count)).map(|i| self.choice(i, key)).collect(),
+            Some(d) if d >= w_count => match &self.live {
+                None => (0..self.n).collect(),
+                Some(live) => live.clone(),
+            },
             Some(d) => (0..d).map(|i| self.choice(i, key)).collect(),
         }
+    }
+
+    fn resizable(&self) -> bool {
+        true
+    }
+
+    /// Re-derives the head threshold `θ = 2(1+ε)/|live|` and the candidate
+    /// rule over the live count. The head tracker is kept: it was sized for
+    /// `θ_n ≤ θ_live` (live sets only shrink below `n`), so it already
+    /// tracks every key that can be head under the new membership.
+    fn apply_membership(&mut self, live: &[usize]) {
+        check_membership(live, self.n);
+        self.theta = self.config.theta(live.len());
+        self.live = Some(live.to_vec());
     }
 }
 
@@ -381,6 +423,41 @@ mod tests {
             let full: Vec<usize> = (0..20).map(|i| p.choice(i, key)).collect();
             for d in 2..20 {
                 assert_eq!(&full[..d], &(0..d).map(|i| p.choice(i, key)).collect::<Vec<_>>()[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn full_membership_is_byte_identical() {
+        let n = 20;
+        let mut a = AdaptiveChoices::d_choices(n, Estimate::local(n), 0.1, 13);
+        let mut b = AdaptiveChoices::d_choices(n, Estimate::local(n), 0.1, 13);
+        b.apply_membership(&(0..n).collect::<Vec<_>>());
+        for i in 0..30_000u64 {
+            let key = if i % 4 == 0 { 1 } else { i };
+            assert_eq!(a.route(key, i), b.route(key, i), "diverged at t={i}");
+        }
+    }
+
+    #[test]
+    fn membership_confines_head_and_tail_to_live_workers() {
+        let n = 30;
+        for p in [
+            AdaptiveChoices::d_choices(n, Estimate::local(n), 0.1, 17),
+            AdaptiveChoices::w_choices(n, Estimate::local(n), 0.1, 17),
+        ] {
+            let mut p = p;
+            let live: Vec<usize> = (0..n).step_by(3).collect();
+            p.apply_membership(&live);
+            // θ is re-derived over the live count.
+            assert!((p.theta() - 2.2 / live.len() as f64).abs() < 1e-12);
+            for i in 0..50_000u64 {
+                let key = if i % 4 == 0 { 1 } else { i };
+                let cands = p.candidates(key);
+                let w = p.route(key, i);
+                assert!(live.contains(&w), "routed to dead worker {w}");
+                assert!(cands.contains(&w));
+                assert!(cands.iter().all(|c| live.contains(c)));
             }
         }
     }

@@ -18,7 +18,7 @@ use pkg_hash::{FxHashMap, HashFamily};
 use pkg_metrics::Capacities;
 
 use crate::estimator::Estimate;
-use crate::partitioner::{family, Partitioner};
+use crate::partitioner::{check_membership, family, Partitioner};
 
 /// A key-frequency histogram (key id → occurrence count), the input to
 /// Off-Greedy.
@@ -76,6 +76,9 @@ pub struct OnlineGreedy {
     /// Per-worker capacity weights: new keys go to the least
     /// capacity-normalized worker when attached.
     capacities: Option<Capacities>,
+    /// Live membership subset of `0..n` (pkg-elastic); `None` is the
+    /// untouched fixed-`W` fast path.
+    live: Option<Vec<usize>>,
     /// Fallback hash for deterministic tie-breaking order of workers.
     _family: HashFamily,
 }
@@ -90,6 +93,7 @@ impl OnlineGreedy {
             estimate,
             table: FxHashMap::default(),
             capacities: None,
+            live: None,
             _family: family(1, seed),
         }
     }
@@ -116,9 +120,16 @@ impl Partitioner for OnlineGreedy {
         let w = match self.table.get(&key) {
             Some(&w) => w as usize,
             None => {
-                let mut best = 0usize;
-                let mut best_load = self.estimate.load(0, ts_ms);
-                for w in 1..self.n {
+                // Argmin over the live set (all of 0..n when never resized);
+                // ties break toward the earlier live member.
+                let m = self.live.as_ref().map_or(self.n, Vec::len);
+                let mut best = self.live.as_ref().map_or(0, |live| live[0]);
+                let mut best_load = self.estimate.load(best, ts_ms);
+                for i in 1..m {
+                    let w = match &self.live {
+                        None => i,
+                        Some(live) => live[i],
+                    };
                     let l = self.estimate.load(w, ts_ms);
                     if pkg_metrics::prefers(self.capacities.as_ref(), l, w, best_load, best) {
                         best = w;
@@ -139,6 +150,18 @@ impl Partitioner for OnlineGreedy {
 
     fn name(&self) -> String {
         "OnlineGreedy".into()
+    }
+
+    fn resizable(&self) -> bool {
+        true
+    }
+
+    /// Evicts routing-table entries pinned to dead workers — those keys are
+    /// re-placed on the least-loaded live worker at next sight.
+    fn apply_membership(&mut self, live: &[usize]) {
+        check_membership(live, self.n);
+        self.table.retain(|_, w| live.binary_search(&(*w as usize)).is_ok());
+        self.live = Some(live.to_vec());
     }
 }
 
@@ -276,6 +299,36 @@ mod tests {
         let mut ws = [w0, w1, w2];
         ws.sort_unstable();
         assert_eq!(ws, [0, 1, 2]);
+    }
+
+    #[test]
+    fn online_greedy_membership_evicts_and_reroutes() {
+        let mut g = OnlineGreedy::new(4, Estimate::local(4), 3);
+        for k in 0..200u64 {
+            g.route(k, 0);
+        }
+        let before = g.table_entries();
+        let live = [1usize, 3];
+        g.apply_membership(&live);
+        assert!(g.table_entries() < before);
+        for k in 0..400u64 {
+            assert!(live.contains(&g.route(k, 1)));
+        }
+    }
+
+    #[test]
+    fn offline_greedy_membership_is_unsupported() {
+        let f = KeyFrequencies::from_keys([1, 2, 3]);
+        let g = OfflineGreedy::new(4, &f, 0);
+        assert!(!g.resizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support membership changes")]
+    fn offline_greedy_apply_membership_panics() {
+        let f = KeyFrequencies::from_keys([1, 2, 3]);
+        let mut g = OfflineGreedy::new(4, &f, 0);
+        g.apply_membership(&[0, 1]);
     }
 
     #[test]

@@ -8,13 +8,16 @@
 
 use pkg_hash::HashFamily;
 
-use crate::partitioner::{family, Partitioner};
+use crate::partitioner::{check_membership, family, Partitioner};
 
 /// Single-choice hash partitioner (`KG`).
 #[derive(Debug, Clone)]
 pub struct KeyGrouping {
     family: HashFamily,
     n: usize,
+    /// Live membership subset of `0..n` (pkg-elastic); `None` is the
+    /// untouched fixed-`W` fast path.
+    live: Option<Vec<usize>>,
 }
 
 impl KeyGrouping {
@@ -22,14 +25,22 @@ impl KeyGrouping {
     /// `seed`.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n > 0, "need at least one worker");
-        Self { family: family(1, seed), n }
+        Self { family: family(1, seed), n, live: None }
+    }
+
+    #[inline]
+    fn pick(&self, key: u64) -> usize {
+        match &self.live {
+            None => self.family.choice(0, &key, self.n),
+            Some(live) => self.family.choice_in(0, &key, live),
+        }
     }
 }
 
 impl Partitioner for KeyGrouping {
     #[inline]
     fn route(&mut self, key: u64, _ts_ms: u64) -> usize {
-        self.family.choice(0, &key, self.n)
+        self.pick(key)
     }
 
     fn n(&self) -> usize {
@@ -41,7 +52,16 @@ impl Partitioner for KeyGrouping {
     }
 
     fn candidates(&self, key: u64) -> Vec<usize> {
-        vec![self.family.choice(0, &key, self.n)]
+        vec![self.pick(key)]
+    }
+
+    fn resizable(&self) -> bool {
+        true
+    }
+
+    fn apply_membership(&mut self, live: &[usize]) {
+        check_membership(live, self.n);
+        self.live = Some(live.to_vec());
     }
 }
 
@@ -79,6 +99,22 @@ mod tests {
         }
         for &c in &counts {
             assert!((8_000..12_000).contains(&c), "count = {c}");
+        }
+    }
+
+    #[test]
+    fn membership_reroutes_onto_live_set_only() {
+        let mut kg = KeyGrouping::new(8, 5);
+        let live = [1usize, 4, 6];
+        kg.apply_membership(&live);
+        for k in 0..500u64 {
+            assert!(live.contains(&kg.route(k, 0)));
+        }
+        // Full set restores fixed-W routing bit for bit.
+        let mut fresh = KeyGrouping::new(8, 5);
+        kg.apply_membership(&(0..8).collect::<Vec<_>>());
+        for k in 0..500u64 {
+            assert_eq!(kg.route(k, 0), fresh.route(k, 0));
         }
     }
 

@@ -32,6 +32,40 @@ pub trait Partitioner: Send {
         let _ = key;
         (0..self.n()).collect()
     }
+
+    /// Whether this partitioner supports runtime membership changes via
+    /// [`Self::apply_membership`]. Schemes whose assignment is frozen up
+    /// front (Off-Greedy) stay `false`.
+    fn resizable(&self) -> bool {
+        false
+    }
+
+    /// Restrict routing to the live subset `live` of the fixed id space
+    /// `0..n` (pkg-elastic's stable-id invariant: `n` never changes, only
+    /// which indices are live). Hash-based schemes rebuild their candidate
+    /// derivation over `live`; table-based schemes additionally evict
+    /// entries pointing at dead workers. Applying the full set `0..n` must
+    /// route byte-identically to a never-resized partitioner.
+    ///
+    /// # Panics
+    /// The default implementation panics: the scheme does not support
+    /// membership changes. Implementations panic on an invalid `live` set
+    /// (empty, unsorted, duplicate, or out-of-range indices).
+    fn apply_membership(&mut self, live: &[usize]) {
+        let _ = live;
+        panic!("{} does not support membership changes", self.name());
+    }
+}
+
+/// Validate a membership set against the fixed id space `0..n`: non-empty,
+/// strictly increasing, all indices below `n`. Shared by every
+/// [`Partitioner::apply_membership`] implementation.
+pub(crate) fn check_membership(live: &[usize], n: usize) {
+    assert!(!live.is_empty(), "membership must keep at least one worker live");
+    for pair in live.windows(2) {
+        assert!(pair[0] < pair[1], "membership must be sorted and duplicate-free");
+    }
+    assert!(live[live.len() - 1] < n, "membership index out of the fixed id space 0..{n}");
 }
 
 /// A buildable description of a partitioning scheme, used by experiment

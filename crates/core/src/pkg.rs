@@ -22,7 +22,7 @@ use pkg_hash::HashFamily;
 use pkg_metrics::Capacities;
 
 use crate::estimator::Estimate;
-use crate::partitioner::{family, Partitioner};
+use crate::partitioner::{check_membership, family, Partitioner};
 
 /// The Greedy-`d` partitioner with key splitting (PKG when `d = 2`).
 #[derive(Debug, Clone)]
@@ -35,6 +35,10 @@ pub struct PartialKeyGrouping {
     /// Skewed Streams on Heterogeneous Clusters"). `None` — including
     /// collapsed uniform weights — keeps the exact integer comparison.
     capacities: Option<Capacities>,
+    /// Live membership subset of `0..n` (pkg-elastic). `None` is the
+    /// untouched fixed-`W` fast path — byte-identical to the pre-elastic
+    /// code by construction.
+    live: Option<Vec<usize>>,
     buf: [usize; MAX_CHOICES],
 }
 
@@ -44,7 +48,14 @@ impl PartialKeyGrouping {
     pub fn new(n: usize, d: usize, estimate: Estimate, seed: u64) -> Self {
         assert!(n > 0, "need at least one worker");
         assert_eq!(estimate.n(), n, "estimate must cover all workers");
-        Self { family: family(d, seed), n, estimate, capacities: None, buf: [0; MAX_CHOICES] }
+        Self {
+            family: family(d, seed),
+            n,
+            estimate,
+            capacities: None,
+            live: None,
+            buf: [0; MAX_CHOICES],
+        }
     }
 
     /// Route by capacity-normalized load `L_i/c_i` using these per-worker
@@ -72,9 +83,19 @@ impl Partitioner for PartialKeyGrouping {
     #[inline]
     fn route(&mut self, key: u64, ts_ms: u64) -> usize {
         let d = self.family.d();
-        // Compute the d candidates without allocating.
-        for i in 0..d {
-            self.buf[i] = self.family.choice(i, &key, self.n);
+        // Compute the d candidates without allocating; under a membership
+        // subset the same hash members are reduced onto the live set.
+        match &self.live {
+            None => {
+                for i in 0..d {
+                    self.buf[i] = self.family.choice(i, &key, self.n);
+                }
+            }
+            Some(live) => {
+                for i in 0..d {
+                    self.buf[i] = self.family.choice_in(i, &key, live);
+                }
+            }
         }
         // Pick the candidate with the smallest estimated (capacity-
         // normalized, when weights are attached) load; ties break toward
@@ -101,7 +122,19 @@ impl Partitioner for PartialKeyGrouping {
     }
 
     fn candidates(&self, key: u64) -> Vec<usize> {
-        self.family.choices(&key, self.n)
+        match &self.live {
+            None => self.family.choices(&key, self.n),
+            Some(live) => self.family.choices_in(&key, live),
+        }
+    }
+
+    fn resizable(&self) -> bool {
+        true
+    }
+
+    fn apply_membership(&mut self, live: &[usize]) {
+        check_membership(live, self.n);
+        self.live = Some(live.to_vec());
     }
 }
 
@@ -223,6 +256,41 @@ mod tests {
     #[should_panic(expected = "estimate must cover")]
     fn mismatched_estimate_size_panics() {
         let _ = PartialKeyGrouping::new(4, 2, Estimate::local(3), 0);
+    }
+
+    #[test]
+    fn full_membership_is_byte_identical() {
+        let mut a = pkg(12, 2, 8);
+        let mut b = pkg(12, 2, 8);
+        b.apply_membership(&(0..12).collect::<Vec<_>>());
+        assert!(b.resizable());
+        for t in 0..5_000u64 {
+            let key = t % 200;
+            assert_eq!(a.route(key, t), b.route(key, t), "diverged at t={t}");
+            assert_eq!(a.candidates(key), b.candidates(key));
+        }
+    }
+
+    #[test]
+    fn subset_membership_routes_only_to_live_workers() {
+        let mut p = pkg(10, 2, 4);
+        let live = [0usize, 3, 5, 8];
+        p.apply_membership(&live);
+        for t in 0..2_000u64 {
+            let key = t % 97;
+            let cands = p.candidates(key);
+            let w = p.route(key, t);
+            assert!(live.contains(&w), "routed to dead worker {w}");
+            assert!(cands.contains(&w));
+            assert!(cands.iter().all(|c| live.contains(c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and duplicate-free")]
+    fn unsorted_membership_panics() {
+        let mut p = pkg(4, 2, 0);
+        p.apply_membership(&[2, 1]);
     }
 
     #[test]

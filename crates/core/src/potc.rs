@@ -13,7 +13,7 @@ use pkg_hash::{FxHashMap, HashFamily};
 use pkg_metrics::Capacities;
 
 use crate::estimator::Estimate;
-use crate::partitioner::{family, Partitioner};
+use crate::partitioner::{check_membership, family, Partitioner};
 
 /// Routing-table PoTC (the "PoTC" row of Table II).
 #[derive(Debug, Clone)]
@@ -24,6 +24,9 @@ pub struct StaticPotc {
     /// Per-worker capacity weights: first-sight placement compares
     /// `L_i/c_i` when attached.
     capacities: Option<Capacities>,
+    /// Live membership subset of `0..n` (pkg-elastic); `None` is the
+    /// untouched fixed-`W` fast path.
+    live: Option<Vec<usize>>,
     table: FxHashMap<u64, u32>,
 }
 
@@ -33,7 +36,14 @@ impl StaticPotc {
     pub fn new(n: usize, estimate: Estimate, seed: u64) -> Self {
         assert!(n > 0, "need at least one worker");
         assert_eq!(estimate.n(), n, "estimate must cover all workers");
-        Self { family: family(2, seed), n, estimate, capacities: None, table: FxHashMap::default() }
+        Self {
+            family: family(2, seed),
+            n,
+            estimate,
+            capacities: None,
+            live: None,
+            table: FxHashMap::default(),
+        }
     }
 
     /// Route by capacity-normalized load `L_i/c_i` using these per-worker
@@ -59,8 +69,14 @@ impl Partitioner for StaticPotc {
         let w = match self.table.get(&key) {
             Some(&w) => w as usize,
             None => {
-                let c0 = self.family.choice(0, &key, self.n);
-                let c1 = self.family.choice(1, &key, self.n);
+                let (c0, c1) = match &self.live {
+                    None => {
+                        (self.family.choice(0, &key, self.n), self.family.choice(1, &key, self.n))
+                    }
+                    Some(live) => {
+                        (self.family.choice_in(0, &key, live), self.family.choice_in(1, &key, live))
+                    }
+                };
                 let (l0, l1) = (self.estimate.load(c0, ts_ms), self.estimate.load(c1, ts_ms));
                 let w = if pkg_metrics::prefers(self.capacities.as_ref(), l1, c1, l0, c0) {
                     c1
@@ -84,7 +100,28 @@ impl Partitioner for StaticPotc {
     }
 
     fn candidates(&self, key: u64) -> Vec<usize> {
-        self.family.choices(&key, self.n)
+        match &self.live {
+            None => self.family.choices(&key, self.n),
+            // Under a membership subset a pinned key has exactly one
+            // possible destination; unpinned keys draw from the live set.
+            Some(live) => match self.table.get(&key) {
+                Some(&w) => vec![w as usize],
+                None => self.family.choices_in(&key, live),
+            },
+        }
+    }
+
+    fn resizable(&self) -> bool {
+        true
+    }
+
+    /// Evicts routing-table entries pinned to dead workers — those keys are
+    /// re-placed (among their live candidates) on next sight, which is the
+    /// table-based analogue of key migration.
+    fn apply_membership(&mut self, live: &[usize]) {
+        check_membership(live, self.n);
+        self.table.retain(|_, w| live.binary_search(&(*w as usize)).is_ok());
+        self.live = Some(live.to_vec());
     }
 }
 
@@ -142,6 +179,23 @@ mod tests {
             loads[p.route(0, t)] += 1;
         }
         assert_eq!(loads.iter().filter(|&&l| l > 0).count(), 1);
+    }
+
+    #[test]
+    fn membership_evicts_keys_pinned_to_dead_workers() {
+        let mut p = StaticPotc::new(6, Estimate::local(6), 9);
+        for k in 0..300u64 {
+            p.route(k, 0);
+        }
+        let before = p.table_entries();
+        let live = [0usize, 2, 4];
+        p.apply_membership(&live);
+        assert!(p.table_entries() < before, "some keys were pinned to dead workers");
+        for k in 0..600u64 {
+            let w = p.route(k, 1);
+            assert!(live.contains(&w), "key {k} routed to dead worker {w}");
+            assert_eq!(p.candidates(k), vec![w], "pinned key has one destination");
+        }
     }
 
     #[test]

@@ -6,13 +6,17 @@
 //! of the key space" (§II-A). Its imbalance is at most one message per
 //! source; its cost is `O(W·K)` state for stateful operators.
 
-use crate::partitioner::Partitioner;
+use crate::partitioner::{check_membership, Partitioner};
 
 /// Round-robin partitioner (`SG`).
 #[derive(Debug, Clone)]
 pub struct ShuffleGrouping {
     n: usize,
     next: usize,
+    /// Live membership subset of `0..n` (pkg-elastic); `None` is the
+    /// untouched fixed-`W` fast path. When set, `next` cycles over
+    /// positions *within* the live set.
+    live: Option<Vec<usize>>,
 }
 
 impl ShuffleGrouping {
@@ -25,16 +29,20 @@ impl ShuffleGrouping {
     /// sources do not hit the same worker simultaneously).
     pub fn with_offset(n: usize, offset: usize) -> Self {
         assert!(n > 0, "need at least one worker");
-        Self { n, next: offset % n }
+        Self { n, next: offset % n, live: None }
     }
 }
 
 impl Partitioner for ShuffleGrouping {
     #[inline]
     fn route(&mut self, _key: u64, _ts_ms: u64) -> usize {
-        let w = self.next;
+        let len = self.live.as_ref().map_or(self.n, Vec::len);
+        let w = match &self.live {
+            None => self.next,
+            Some(live) => live[self.next],
+        };
         self.next += 1;
-        if self.next == self.n {
+        if self.next == len {
             self.next = 0;
         }
         w
@@ -46,6 +54,24 @@ impl Partitioner for ShuffleGrouping {
 
     fn name(&self) -> String {
         "ShuffleGrouping".into()
+    }
+
+    fn candidates(&self, _key: u64) -> Vec<usize> {
+        match &self.live {
+            None => (0..self.n).collect(),
+            Some(live) => live.clone(),
+        }
+    }
+
+    fn resizable(&self) -> bool {
+        true
+    }
+
+    fn apply_membership(&mut self, live: &[usize]) {
+        check_membership(live, self.n);
+        // Keep the stagger but land inside the new cycle length.
+        self.next %= live.len();
+        self.live = Some(live.to_vec());
     }
 }
 
@@ -84,5 +110,24 @@ mod tests {
     fn candidates_are_all_workers() {
         let sg = ShuffleGrouping::new(3);
         assert_eq!(sg.candidates(42), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn membership_round_robins_over_live_workers_only() {
+        let mut sg = ShuffleGrouping::new(6);
+        assert_eq!(sg.route(0, 0), 0);
+        sg.apply_membership(&[1, 3, 5]);
+        assert_eq!(sg.candidates(0), vec![1, 3, 5]);
+        let seq: Vec<usize> = (0..6).map(|i| sg.route(i, 0)).collect();
+        // next was 1 when membership applied → cycle resumes at position 1.
+        assert_eq!(seq, vec![3, 5, 1, 3, 5, 1]);
+        // Imbalance within the live set stays ≤ 1 per cycle.
+        let mut loads = [0u64; 6];
+        for i in 0..900 {
+            loads[sg.route(i, 0)] += 1;
+        }
+        assert_eq!(loads[0] + loads[2] + loads[4], 0);
+        assert_eq!(loads[1], loads[3]);
+        assert_eq!(loads[3], loads[5]);
     }
 }

@@ -144,6 +144,21 @@ impl Emitter<'_> {
                 tuple.clone()
             };
             let edge = &mut self.edges[i];
+            // Elastic edges: if this tuple crosses a membership threshold,
+            // announce the new epoch in-band to every downstream instance
+            // *before* routing it under the new live set. Markers are
+            // control traffic — they bypass the router and do not count as
+            // emissions.
+            while let Some(epoch) = edge.router.advance_epoch() {
+                let n = match &edge.tx {
+                    EdgeTx::Channels(txs) => txs.len(),
+                    EdgeTx::Tasks(dests) => dests.len(),
+                };
+                let marker = crate::elastic::epoch_marker(epoch, self.now_ns);
+                for w in 0..n {
+                    self.sink.deliver(&edge.tx, w, Packet::Tuple(marker.clone()));
+                }
+            }
             match edge.router.route(key_id) {
                 Target::One(w) => self.sink.deliver(&edge.tx, w, Packet::Tuple(t)),
                 Target::All => {

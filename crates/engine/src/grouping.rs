@@ -1,10 +1,13 @@
 //! Stream groupings — how an edge partitions tuples among the downstream
 //! instances. These mirror Storm's groupings plus the paper's new primitive.
 
+use std::sync::Arc;
+
 use pkg_core::{
     AdaptiveChoices, ChoiceConfig, ChoiceStrategy, Estimate, HotAwarePkg, PartialKeyGrouping,
     Partitioner as _, DEFAULT_EPSILON,
 };
+use pkg_elastic::MembershipPlan;
 
 /// Partitioning strategy of one topology edge.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +49,17 @@ pub enum Grouping {
         /// Relative imbalance target `ε`.
         epsilon: f64,
     },
+    /// Elastic PKG: [`Grouping::Partial`] routing confined to the live
+    /// worker set of a [`MembershipPlan`]. Each sender replays the plan
+    /// against its own routed-tuple count; on crossing a threshold it
+    /// broadcasts an in-band epoch marker (see [`crate::elastic`]) to every
+    /// downstream instance, then routes new tuples over the new live set.
+    Elastic {
+        /// Number of candidate workers per key (`2` = the paper's PKG).
+        d: usize,
+        /// The scripted membership schedule, shared by every sender.
+        plan: Arc<MembershipPlan>,
+    },
     /// Everything to instance 0 (Storm's global grouping; used for final
     /// aggregators).
     Global,
@@ -67,6 +81,11 @@ impl Grouping {
     /// W-Choices with the default imbalance target.
     pub fn w_choices() -> Self {
         Grouping::WChoices { epsilon: DEFAULT_EPSILON }
+    }
+
+    /// Elastic PKG (two choices) following `plan`.
+    pub fn elastic(plan: MembershipPlan) -> Self {
+        Grouping::Elastic { d: 2, plan: Arc::new(plan) }
     }
 }
 
@@ -97,6 +116,7 @@ enum RouterKind {
     Partial { pkg: PartialKeyGrouping },
     PartialHot { pkg: HotAwarePkg },
     Adaptive { choices: AdaptiveChoices },
+    Elastic { pkg: PartialKeyGrouping, plan: Arc<MembershipPlan>, routed: u64, next_epoch: u32 },
     Global,
     Broadcast,
 }
@@ -141,6 +161,16 @@ impl Router {
                     seed,
                 ),
             },
+            Grouping::Elastic { d, plan } => {
+                assert_eq!(
+                    plan.capacity(),
+                    n,
+                    "membership plan id space must match the downstream instance count"
+                );
+                let mut pkg = PartialKeyGrouping::new(n, *d, Estimate::local(n), seed);
+                pkg.apply_membership(plan.live(0));
+                RouterKind::Elastic { pkg, plan: Arc::clone(plan), routed: 0, next_epoch: 1 }
+            }
             Grouping::Global => RouterKind::Global,
             Grouping::Broadcast => RouterKind::Broadcast,
         };
@@ -166,8 +196,36 @@ impl Router {
             RouterKind::Partial { pkg } => Target::One(pkg.route(key_id, 0)),
             RouterKind::PartialHot { pkg } => Target::One(pkg.route(key_id, 0)),
             RouterKind::Adaptive { choices } => Target::One(choices.route(key_id, 0)),
+            RouterKind::Elastic { pkg, routed, .. } => {
+                *routed += 1;
+                Target::One(pkg.route(key_id, 0))
+            }
             RouterKind::Global => Target::One(0),
             RouterKind::Broadcast => Target::All,
+        }
+    }
+
+    /// Advance this sender's membership epoch by one if its routed-tuple
+    /// count has crossed the next plan threshold, switching routing onto the
+    /// new live set and returning the epoch just entered. The emitter calls
+    /// this before routing each tuple (looping, in case thresholds are a
+    /// single tuple apart) and broadcasts an in-band marker per epoch
+    /// returned — so on every FIFO channel the marker separates old-epoch
+    /// from new-epoch traffic. `None` for non-elastic groupings and between
+    /// thresholds.
+    pub fn advance_epoch(&mut self) -> Option<u32> {
+        match &mut self.kind {
+            RouterKind::Elastic { pkg, plan, routed, next_epoch } => {
+                if *next_epoch < plan.epochs() && *routed >= plan.threshold(*next_epoch) {
+                    let epoch = *next_epoch;
+                    pkg.apply_membership(plan.live(epoch));
+                    *next_epoch += 1;
+                    Some(epoch)
+                } else {
+                    None
+                }
+            }
+            _ => None,
         }
     }
 
@@ -283,6 +341,45 @@ mod tests {
         assert_eq!(wc, n, "a 50% key under W-Choices reaches every instance");
         assert!(dc < wc, "D-Choices spread {dc} must stay below W-Choices {wc}");
         assert!(dc > 2);
+    }
+
+    #[test]
+    fn elastic_replays_plan_and_confines_routing_to_live_set() {
+        use pkg_elastic::{Change, MembershipPlan};
+        let plan = MembershipPlan::new(4)
+            .with_step(100, [Change::Remove(3)])
+            .with_step(200, [Change::Insert(3)]);
+        let mut r = Router::new(&Grouping::elastic(plan), 4, 9, 0);
+        assert_eq!(r.advance_epoch(), None, "epoch 0 needs no announcement");
+        let mut epochs = Vec::new();
+        let mut hit_while_dead = false;
+        for (routed, k) in (0u64..300).enumerate() {
+            let routed = routed as u64;
+            while let Some(e) = r.advance_epoch() {
+                epochs.push((routed, e));
+            }
+            if let Target::One(w) = r.route(k) {
+                if (100..200).contains(&routed) && w == 3 {
+                    hit_while_dead = true;
+                }
+            }
+        }
+        assert_eq!(epochs, vec![(100, 1), (200, 2)]);
+        assert!(!hit_while_dead, "no tuple may route to a dead instance");
+        assert_eq!(r.advance_epoch(), None, "plan exhausted");
+    }
+
+    #[test]
+    fn elastic_senders_agree_on_candidates_with_static_partial() {
+        // An elastic edge whose plan never changes routes exactly like
+        // Partial — markers aside, the schemes are byte-identical.
+        use pkg_elastic::MembershipPlan;
+        let mut a = Router::new(&Grouping::elastic(MembershipPlan::new(8)), 8, 3, 0);
+        let mut b = Router::new(&Grouping::partial_key(), 8, 3, 0);
+        for k in 0..2_000u64 {
+            assert_eq!(a.advance_epoch(), None);
+            assert_eq!(a.route(k % 37), b.route(k % 37));
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bolt;
+pub mod elastic;
 pub mod executor;
 pub mod grouping;
 pub mod metrics;
@@ -52,6 +53,7 @@ pub mod tuple;
 /// Convenient glob import for building topologies.
 pub mod prelude {
     pub use crate::bolt::{Bolt, CountingBolt, Emitter};
+    pub use crate::elastic::{MigrationBus, MigrationMsg};
     pub use crate::grouping::Grouping;
     pub use crate::runtime::{ExecutorMode, InstanceCapacities, Runtime, RuntimeOptions};
     pub use crate::spout::{spout_from_fn, spout_from_iter, Spout};
@@ -60,6 +62,7 @@ pub mod prelude {
 }
 
 pub use bolt::{Bolt, Emitter};
+pub use elastic::{MigrationBus, MigrationMsg, EPOCH_MARKER_KEY};
 pub use grouping::Grouping;
 pub use metrics::{InstanceStats, RunStats};
 pub use runtime::{edge_seed, ExecutorMode, InstanceCapacities, Runtime, RuntimeOptions};

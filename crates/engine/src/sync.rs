@@ -29,6 +29,11 @@ pub(crate) use std::sync::{Mutex, MutexGuard};
 #[cfg(feature = "pkg_model")]
 pub(crate) use pkg_model::sync::{Mutex, MutexGuard};
 
+// `Arc` is the std type in both modes: the model explores lock and atomic
+// interleavings, and reference-count plumbing contributes no scheduling
+// decisions of its own.
+pub(crate) use std::sync::Arc;
+
 pub(crate) use crossbeam::sync::{Parker, Unparker};
 
 pub(crate) use std::time::Instant;

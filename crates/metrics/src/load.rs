@@ -156,6 +156,69 @@ impl LoadVector {
         &self.loads
     }
 
+    /// Grow the id space to `n` workers: new workers start at zero load,
+    /// existing workers keep their full history (totals, max, and any
+    /// downstream Welford accumulators fed from this vector are
+    /// unaffected). Attached capacities are resized via
+    /// [`Capacities::resized`].
+    ///
+    /// # Panics
+    /// Panics if `n < self.len()` — use [`Self::shrink_to`] to shrink.
+    pub fn grow(&mut self, n: usize) {
+        assert!(n >= self.loads.len(), "grow({n}) below current len {}", self.loads.len());
+        self.loads.resize(n, 0);
+        if let Some(caps) = self.capacities.take() {
+            self.capacities = caps.resized(n);
+        }
+    }
+
+    /// Shrink the id space to the first `n` workers, dropping the history
+    /// of the removed ones (totals and max are recomputed from the
+    /// survivors). For membership changes that *retire* workers without
+    /// renumbering the id space — the elastic layer's normal mode — keep
+    /// the full vector and scope reads with [`Self::imbalance_over`]
+    /// instead; this is for permanently compacting a plan's capacity.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > self.len()`.
+    pub fn shrink_to(&mut self, n: usize) {
+        assert!(n > 0, "need at least one worker");
+        assert!(n <= self.loads.len(), "shrink_to({n}) above current len {}", self.loads.len());
+        self.loads.truncate(n);
+        self.total = self.loads.iter().sum();
+        self.max = self.loads.iter().copied().max().unwrap_or(0);
+        if let Some(caps) = self.capacities.take() {
+            self.capacities = caps.resized(n);
+        }
+    }
+
+    /// The imbalance of the membership subset `live`:
+    /// `max_{i∈live} L_i − avg_{i∈live} L_i`. With `live = 0..n` this is
+    /// exactly [`Self::imbalance`]. Loads on non-live workers are ignored
+    /// (their history is preserved, not forgotten).
+    pub fn imbalance_over(&self, live: &[usize]) -> f64 {
+        debug_assert!(!live.is_empty());
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        for &w in live {
+            let l = self.loads[w];
+            max = max.max(l);
+            sum += l;
+        }
+        max as f64 - sum as f64 / live.len() as f64
+    }
+
+    /// [`Self::imbalance_over`] divided by the messages recorded on `live`
+    /// workers; 0 when they have seen none.
+    pub fn imbalance_fraction_over(&self, live: &[usize]) -> f64 {
+        let sum: u64 = live.iter().map(|&w| self.loads[w]).sum();
+        if sum == 0 {
+            0.0
+        } else {
+            self.imbalance_over(live) / sum as f64
+        }
+    }
+
     /// Reset all loads to zero, keeping the worker count.
     pub fn reset(&mut self) {
         self.loads.fill(0);
@@ -305,5 +368,61 @@ mod tests {
     #[should_panic(expected = "one capacity per worker")]
     fn mismatched_capacities_panic() {
         let _ = LoadVector::new(3).with_capacities(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn grow_preserves_history_and_zeroes_new_workers() {
+        let mut lv = LoadVector::new(2);
+        lv.record(0, 10);
+        lv.record(1, 4);
+        lv.grow(4);
+        assert_eq!(lv.len(), 4);
+        assert_eq!(lv.loads(), &[10, 4, 0, 0]);
+        assert_eq!(lv.total(), 14);
+        assert_eq!(lv.max(), 10);
+    }
+
+    #[test]
+    fn shrink_recomputes_totals_from_survivors() {
+        let mut lv = LoadVector::new(4);
+        lv.record(0, 1);
+        lv.record(3, 9);
+        lv.shrink_to(2);
+        assert_eq!(lv.len(), 2);
+        assert_eq!(lv.total(), 1);
+        assert_eq!(lv.max(), 1);
+    }
+
+    #[test]
+    fn grow_resizes_capacities_with_unit_speed_joiners() {
+        let mut lv = LoadVector::new(2).with_capacities(&[3.0, 1.0]);
+        lv.grow(3);
+        let caps = lv.capacities().expect("still heterogeneous");
+        assert_eq!(caps.len(), 3);
+        // Raw speeds [1.5, 0.5] (normalized) + joiner at 1.0, renormalized.
+        assert!(caps.weight(0) > caps.weight(2) && caps.weight(2) > caps.weight(1));
+    }
+
+    #[test]
+    fn imbalance_over_full_set_matches_imbalance() {
+        let mut lv = LoadVector::new(4);
+        for (w, m) in [(0, 7), (1, 3), (2, 5), (3, 1)] {
+            lv.record(w, m);
+        }
+        let all: Vec<usize> = (0..4).collect();
+        assert!((lv.imbalance_over(&all) - lv.imbalance()).abs() < 1e-12);
+        assert!((lv.imbalance_fraction_over(&all) - lv.imbalance_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_over_ignores_dead_workers() {
+        let mut lv = LoadVector::new(4);
+        lv.record(0, 100); // dead in the subset below
+        lv.record(1, 6);
+        lv.record(2, 6);
+        assert_eq!(lv.imbalance_over(&[1, 2]), 0.0);
+        assert_eq!(lv.imbalance_fraction_over(&[1, 2]), 0.0);
+        // History on worker 0 is preserved, just not measured.
+        assert_eq!(lv.load(0), 100);
     }
 }

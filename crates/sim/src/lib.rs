@@ -35,7 +35,7 @@ pub mod source;
 pub mod sweep;
 
 pub use aggregation::AggregationSim;
-pub use report::{AggregationStats, ReplicationStats, SimReport};
+pub use report::{AggregationStats, EpochStats, ReplicationStats, SimReport};
 pub use simulation::{run, SimConfig};
 pub use source::SourceAssignment;
 pub use sweep::run_parallel;

@@ -47,6 +47,32 @@ pub struct AggregationStats {
     pub avg_staleness_ms: f64,
 }
 
+/// Re-convergence statistics for one membership epoch of an elastic run
+/// (produced when [`crate::SimConfig`] carries a membership plan).
+/// Imbalance is measured over **tumbling windows of recent traffic**, not
+/// cumulatively: after a rejoin the greedy schemes deliberately flood the
+/// returning workers to catch their load estimates up, and that transient
+/// never washes out of a cumulative vector — what re-converges is the
+/// balance of *current* arrivals.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Epoch number (0 = initial full membership).
+    pub epoch: u32,
+    /// Live worker indices during the epoch.
+    pub live: Vec<usize>,
+    /// Messages routed during the epoch.
+    pub messages: u64,
+    /// Imbalance fraction over the live set in the epoch's trailing
+    /// (possibly partial) measurement window.
+    pub final_fraction: f64,
+    /// Messages into the epoch until a full measurement window first
+    /// landed inside `band`; `None` if none did.
+    pub converged_after: Option<u64>,
+    /// The convergence band: twice epoch 0's trailing-window fraction,
+    /// floored at 1% — "back to within the pre-change ballpark".
+    pub band: f64,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -96,6 +122,8 @@ pub struct SimReport {
     pub replication: Option<ReplicationStats>,
     /// Aggregation-overhead stats, when aggregation modeling was enabled.
     pub aggregation: Option<AggregationStats>,
+    /// Per-epoch re-convergence stats, when a membership plan was set.
+    pub epochs: Option<Vec<EpochStats>>,
     /// Wall-clock duration of the simulation.
     pub wall_time: Duration,
 }

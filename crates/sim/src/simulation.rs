@@ -5,10 +5,11 @@ use std::time::Instant;
 
 use pkg_core::{KeyFrequencies, Partitioner, ReplicationTracker, SchemeSpec, SharedLoads};
 use pkg_datagen::StreamSpec;
+use pkg_elastic::MembershipPlan;
 use pkg_metrics::{LoadVector, TimeSeries, Welford};
 
 use crate::aggregation::AggregationSim;
-use crate::report::{ReplicationStats, SimReport};
+use crate::report::{EpochStats, ReplicationStats, SimReport};
 use crate::source::{SourceAssigner, SourceAssignment};
 
 /// Configuration of one simulation run.
@@ -50,6 +51,13 @@ pub struct SimConfig {
     /// "unweighted PKG on a heterogeneous cluster" baseline of
     /// `fig_hetero`.
     pub capacity_blind_routing: bool,
+    /// Scripted membership changes (pkg-elastic). Step thresholds are
+    /// applied on the **global** message count and hit every source at
+    /// once — the engine, by contrast, advances each sender independently
+    /// on its own routed count. The report gains per-epoch
+    /// [`EpochStats`]; the scheme must be
+    /// [`Partitioner::resizable`] (Off-Greedy is not).
+    pub membership_plan: Option<MembershipPlan>,
 }
 
 impl SimConfig {
@@ -68,7 +76,16 @@ impl SimConfig {
             aggregation_period_ms: None,
             capacities: None,
             capacity_blind_routing: false,
+            membership_plan: None,
         }
+    }
+
+    /// Builder: scripted join/leave schedule (see
+    /// [`Self::membership_plan`]).
+    pub fn with_membership_plan(mut self, plan: MembershipPlan) -> Self {
+        assert_eq!(plan.capacity(), self.workers, "plan id space must equal the worker count");
+        self.membership_plan = Some(plan);
+        self
     }
 
     /// Builder: set both seeds.
@@ -178,7 +195,64 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         series.push(hours, loads.imbalance_fraction());
     };
 
-    for msg in spec.iter(cfg.stream_seed) {
+    // Elastic membership replay. Re-convergence is measured over tumbling
+    // windows of recent traffic (see [`EpochStats`]): each completed window
+    // is scored against the band and then discarded, so the post-change
+    // catch-up transient — which never leaves a cumulative load vector —
+    // does not mask the recovered steady state.
+    const CONVERGENCE_WINDOW: u64 = 2_048;
+    let plan = cfg.membership_plan.as_ref();
+    let mut epoch: u32 = 0;
+    let mut window = plan.map(|_| LoadVector::new(cfg.workers));
+    let mut epoch_msgs: u64 = 0;
+    let mut band: Option<f64> = None;
+    let mut converged_after: Option<u64> = None;
+    let mut last_window_fraction: f64 = 0.0;
+    let mut epoch_stats: Vec<EpochStats> = Vec::new();
+
+    // The epoch's trailing-window fraction: the open partial window when it
+    // holds a meaningful sample (at least half a window — a near-empty
+    // remainder is statistical noise), else the last completed window.
+    let trailing = |window: &LoadVector, live: &[usize], last: f64, completed: bool| {
+        let partial: u64 = live.iter().map(|&w| window.load(w)).sum();
+        if partial >= CONVERGENCE_WINDOW / 2 || (partial > 0 && !completed) {
+            window.imbalance_fraction_over(live)
+        } else {
+            last
+        }
+    };
+
+    // `routed` counts the messages routed before this one, so a threshold
+    // of `t` switches membership after exactly `t` old-epoch messages.
+    for (routed, msg) in (0u64..).zip(spec.iter(cfg.stream_seed)) {
+        if let (Some(plan), Some(window)) = (plan, window.as_mut()) {
+            while epoch + 1 < plan.epochs() && routed >= plan.threshold(epoch + 1) {
+                let final_fraction = trailing(
+                    window,
+                    plan.live(epoch),
+                    last_window_fraction,
+                    epoch_msgs >= CONVERGENCE_WINDOW,
+                );
+                let b = *band.get_or_insert((2.0 * final_fraction).max(0.01));
+                epoch_stats.push(EpochStats {
+                    epoch,
+                    live: plan.live(epoch).to_vec(),
+                    messages: epoch_msgs,
+                    final_fraction,
+                    converged_after,
+                    band: b,
+                });
+                epoch += 1;
+                let live = plan.live(epoch);
+                for src in sources.iter_mut() {
+                    src.apply_membership(live);
+                }
+                window.reset();
+                epoch_msgs = 0;
+                converged_after = None;
+                last_window_fraction = 0.0;
+            }
+        }
         let s = assigner.assign(&msg);
         let w = sources[s].route(msg.key, msg.ts_ms);
         debug_assert!(w < cfg.workers);
@@ -190,11 +264,46 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         if let Some(a) = aggsim.as_mut() {
             a.record(w, msg.key, msg.ts_ms);
         }
+        if let Some(window) = window.as_mut() {
+            window.record(w, 1);
+            epoch_msgs += 1;
+            if epoch_msgs.is_multiple_of(CONVERGENCE_WINDOW) {
+                let live = plan.map_or(&[][..], |p| p.live(epoch));
+                last_window_fraction = window.imbalance_fraction_over(live);
+                if converged_after.is_none() {
+                    if let Some(b) = band {
+                        if last_window_fraction <= b {
+                            converged_after = Some(epoch_msgs);
+                        }
+                    }
+                }
+                window.reset();
+            }
+        }
         until_snap -= 1;
         if until_snap == 0 {
             until_snap = snap_every;
             snapshot(&loads, msg.ts_ms as f64 / 3_600_000.0);
         }
+    }
+
+    // Seal the last (possibly only) epoch.
+    if let (Some(plan), Some(window)) = (plan, window.as_ref()) {
+        let final_fraction = trailing(
+            window,
+            plan.live(epoch),
+            last_window_fraction,
+            epoch_msgs >= CONVERGENCE_WINDOW,
+        );
+        let b = *band.get_or_insert((2.0 * final_fraction).max(0.01));
+        epoch_stats.push(EpochStats {
+            epoch,
+            live: plan.live(epoch).to_vec(),
+            messages: epoch_msgs,
+            final_fraction,
+            converged_after,
+            band: b,
+        });
     }
 
     // Final snapshot, in case the stream length was not a multiple of the
@@ -241,6 +350,7 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         worker_loads: loads.loads().to_vec(),
         replication,
         aggregation: aggsim.map(|a| a.finish(spec.duration_ms())),
+        epochs: cfg.membership_plan.as_ref().map(|_| epoch_stats),
         wall_time: started.elapsed(),
     }
 }
@@ -471,6 +581,62 @@ mod tests {
         // Without aggregation the row still aligns with the header.
         let r2 = run(&spec, &SimConfig::new(4, 1, SchemeSpec::KeyGrouping));
         assert_eq!(r2.tsv_row().split('\t').count(), header_cols);
+    }
+
+    #[test]
+    fn static_membership_plan_is_byte_identical_to_no_plan() {
+        use pkg_elastic::MembershipPlan;
+        let spec = small_spec();
+        let base = SimConfig::new(6, 2, SchemeSpec::pkg(EstimateKind::Local));
+        let plain = run(&spec, &base);
+        let planned = run(&spec, &base.clone().with_membership_plan(MembershipPlan::new(6)));
+        assert_eq!(plain.worker_loads, planned.worker_loads);
+        let epochs = planned.epochs.expect("plan set");
+        assert_eq!(epochs.len(), 1);
+        assert_eq!(epochs[0].live, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(epochs[0].messages, 60_000);
+        assert!(plain.epochs.is_none());
+    }
+
+    #[test]
+    fn halve_then_double_replays_and_reconverges() {
+        use pkg_elastic::{Change, MembershipPlan};
+        let spec = small_spec(); // 60k messages
+                                 // Rejoin at 20k leaves 40k messages for epoch 2: the returning
+                                 // workers' catch-up transient (the greedy schemes flood them until
+                                 // their load estimates reach parity) needs roughly half of that
+                                 // before recent-traffic balance recovers.
+        let plan = MembershipPlan::new(6)
+            .with_step(10_000, [Change::Remove(3), Change::Remove(4), Change::Remove(5)])
+            .with_step(20_000, [Change::Insert(3), Change::Insert(4), Change::Insert(5)]);
+        let cfg =
+            SimConfig::new(6, 3, SchemeSpec::pkg(EstimateKind::Local)).with_membership_plan(plan);
+        let r = run(&spec, &cfg);
+        assert_eq!(r.worker_loads.iter().sum::<u64>(), 60_000, "tuple conservation");
+        let epochs = r.epochs.expect("plan set");
+        assert_eq!(epochs.len(), 3);
+        assert_eq!(epochs[1].live, vec![0, 1, 2]);
+        assert_eq!(epochs[2].live, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(epochs.iter().map(|e| e.messages).sum::<u64>(), 60_000);
+        for e in &epochs[1..] {
+            let after = e.converged_after.expect("epoch {e:?} never re-converged");
+            assert!(after <= e.messages);
+            assert!(e.final_fraction <= e.band, "epoch {} ended outside the band", e.epoch);
+        }
+    }
+
+    #[test]
+    fn dead_workers_receive_no_load_while_dead() {
+        use pkg_elastic::{Change, MembershipPlan};
+        let spec = small_spec();
+        // Workers 4 and 5 die at 10k and never return.
+        let plan = MembershipPlan::new(6).with_step(10_000, [Change::Remove(4), Change::Remove(5)]);
+        let cfg =
+            SimConfig::new(6, 2, SchemeSpec::pkg(EstimateKind::Local)).with_membership_plan(plan);
+        let r = run(&spec, &cfg);
+        // All of workers 4/5's mass came from epoch 0 (10k messages).
+        assert!(r.worker_loads[4] + r.worker_loads[5] <= 10_000);
+        assert!(r.worker_loads[..4].iter().all(|&l| l > 10_000 / 6));
     }
 
     #[test]

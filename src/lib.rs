@@ -52,6 +52,7 @@
 //! | [`metrics`] (`pkg-metrics`) | imbalance, time series, latency histograms, throughput |
 //! | [`datagen`] (`pkg-datagen`) | the paper's dataset profiles as synthetic generators |
 //! | [`sim`] (`pkg-sim`) | the multi-source simulation harness (Q1–Q3) |
+//! | [`elastic`] (`pkg-elastic`) | runtime worker membership: join/leave plans over a stable id space |
 //! | [`engine`] (`pkg-engine`) | the threaded mini-DSPE (Q4) |
 //! | [`agg`] (`pkg-agg`) | the second aggregation phase: `PartialAgg` accumulators, windows, two-phase bolts |
 //! | [`apps`] (`pkg-apps`) | word count, heavy hitters, naive Bayes, SPDT |
@@ -62,6 +63,7 @@ pub use pkg_agg as agg;
 pub use pkg_apps as apps;
 pub use pkg_core as core;
 pub use pkg_datagen as datagen;
+pub use pkg_elastic as elastic;
 pub use pkg_engine as engine;
 pub use pkg_hash as hash;
 pub use pkg_metrics as metrics;
@@ -77,6 +79,7 @@ pub mod prelude {
         Partitioner, SchemeSpec, ShuffleGrouping, StaticPotc,
     };
     pub use pkg_datagen::DatasetProfile;
+    pub use pkg_elastic::{Change, MembershipPlan};
     pub use pkg_engine::prelude::*;
     pub use pkg_metrics;
     pub use pkg_sim::{run as run_simulation, SimConfig};

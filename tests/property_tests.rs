@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use partial_key_grouping::apps::{BhHistogram, SpaceSaving};
 use partial_key_grouping::prelude::*;
+use pkg_elastic::{Change, MembershipPlan};
 use pkg_hash::murmur3::{murmur3_128, murmur3_64_u64};
 use pkg_hash::HashFamily;
 use pkg_metrics::{imbalance, worst_case_imbalance, LoadVector};
@@ -312,6 +313,145 @@ proptest! {
                 prop_assert!(
                     cands.contains(&w),
                     "{} escaped its candidates under capacities", scheme.label()
+                );
+            }
+        }
+    }
+}
+
+/// Build a valid join/leave schedule from raw fuzz input: each toggle flips
+/// one worker — removing it when live (and not the last live member),
+/// re-inserting it when dead — at strictly increasing thresholds. Keeps
+/// every `MembershipPlan` construction invariant by construction.
+fn random_plan(n: usize, toggles: &[(u64, u64)]) -> MembershipPlan {
+    let mut live = vec![true; n];
+    let mut count = n;
+    let mut at = 0u64;
+    let mut plan = MembershipPlan::new(n);
+    for &(pick, gap) in toggles {
+        at += gap;
+        let i = (pick % n as u64) as usize;
+        let change = if live[i] && count > 1 {
+            live[i] = false;
+            count -= 1;
+            Change::Remove(i)
+        } else if !live[i] {
+            live[i] = true;
+            count += 1;
+            Change::Insert(i)
+        } else {
+            // `i` is the only live worker: revive the lowest dead index
+            // instead (one exists — n ≥ 2 and only `i` is live).
+            let j = live.iter().position(|l| !l).expect("some worker is dead");
+            live[j] = true;
+            count += 1;
+            Change::Insert(j)
+        };
+        plan = plan.with_step(at, [change]);
+    }
+    plan
+}
+
+// Elasticity properties: random join/leave schedules over the stable id
+// space. A fresh proptest! block again (the vendored tt-muncher's recursion
+// depth scales with one block's tokens).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_membership_schedules_conserve_every_message(
+        n in 2usize..12,
+        sources in 1usize..4,
+        toggles in prop::collection::vec((any::<u64>(), 100u64..400), 1..5),
+        messages in 2_000u64..6_000,
+        seed: u64,
+    ) {
+        // Whatever the schedule, the simulator loses and duplicates
+        // nothing: worker loads and per-epoch message counts both sum to
+        // the stream length, and every scripted epoch is accounted for.
+        let plan = random_plan(n, &toggles);
+        let spec = DatasetProfile::lognormal2().with_messages(messages).build(1);
+        let cfg = SimConfig::new(n, sources, SchemeSpec::pkg(EstimateKind::Local))
+            .with_seed(seed)
+            .with_membership_plan(plan.clone());
+        let r = pkg_sim::run(&spec, &cfg);
+        prop_assert_eq!(r.worker_loads.iter().sum::<u64>(), messages);
+        let stats = r.epochs.as_ref().expect("a plan produces epoch stats");
+        prop_assert_eq!(stats.len(), plan.epochs() as usize);
+        prop_assert_eq!(stats.iter().map(|e| e.messages).sum::<u64>(), messages);
+    }
+
+    #[test]
+    fn elastic_routing_confines_to_the_live_set_per_epoch(
+        n in 2usize..16,
+        toggles in prop::collection::vec((any::<u64>(), 50u64..300), 1..5),
+        keys in prop::collection::vec(0u64..300, 300..700),
+        seed: u64,
+    ) {
+        // Replaying the schedule by hand: in every epoch, every routing
+        // decision and every reported candidate of every adaptive scheme
+        // lands inside that epoch's live set.
+        let plan = random_plan(n, &toggles);
+        let shared = pkg_core::SharedLoads::new(n);
+        for scheme in [
+            SchemeSpec::pkg(EstimateKind::Local),
+            SchemeSpec::d_choices(EstimateKind::Local),
+            SchemeSpec::w_choices(EstimateKind::Local),
+        ] {
+            let mut p = scheme.build(n, seed, 0, &shared, None);
+            prop_assert!(p.resizable(), "{} must support membership", scheme.label());
+            let mut epoch = 0u32;
+            p.apply_membership(plan.live(0));
+            for (t, &k) in keys.iter().enumerate() {
+                let e = plan.epoch_at(t as u64);
+                if e != epoch {
+                    epoch = e;
+                    p.apply_membership(plan.live(e));
+                }
+                let live = plan.live(epoch);
+                let w = p.route(k, t as u64);
+                prop_assert!(
+                    live.contains(&w),
+                    "{} routed {} to dead worker {} in epoch {}", scheme.label(), k, w, epoch
+                );
+                let cands = p.candidates(k);
+                prop_assert!(cands.contains(&w), "{} escaped its candidates", scheme.label());
+                prop_assert!(
+                    cands.iter().all(|c| live.contains(c)),
+                    "{} reported a dead candidate in epoch {}", scheme.label(), epoch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_byte_identical_to_fixed_w(
+        n in 2usize..24,
+        keys in prop::collection::vec(0u64..400, 100..400),
+        seed: u64,
+    ) {
+        // Identity degeneration: applying a static plan's (full) live set —
+        // even repeatedly, mid-stream — leaves every decision of every
+        // adaptive scheme identical to the untouched fixed-W partitioner.
+        let plan = MembershipPlan::new(n);
+        prop_assert!(plan.is_static());
+        let shared = pkg_core::SharedLoads::new(n);
+        for scheme in [
+            SchemeSpec::pkg(EstimateKind::Local),
+            SchemeSpec::d_choices(EstimateKind::Local),
+            SchemeSpec::w_choices(EstimateKind::Local),
+        ] {
+            let mut a = scheme.build(n, seed, 0, &shared, None);
+            let mut b = scheme.build(n, seed, 0, &shared, None);
+            b.apply_membership(plan.live(0));
+            for (t, &k) in keys.iter().enumerate() {
+                if t == keys.len() / 2 {
+                    b.apply_membership(plan.live(0));
+                }
+                prop_assert_eq!(
+                    a.route(k, t as u64),
+                    b.route(k, t as u64),
+                    "{} diverged from fixed-W at t={}", scheme.label(), t
                 );
             }
         }
