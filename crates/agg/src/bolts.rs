@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use pkg_engine::bolt::{Bolt, Emitter};
-use pkg_engine::tuple::Tuple;
+use pkg_engine::tuple::{Tuple, TupleKey};
 use pkg_hash::FxHashMap;
 
 use crate::partial::{canonical_merge, PartialAgg};
@@ -93,7 +93,7 @@ impl ServiceDelay {
 
 /// Phase one: windowed per-key partial aggregation.
 pub struct WindowedWorkerBolt<A: PartialAgg> {
-    window: TumblingWindow<Box<[u8]>, A>,
+    window: TumblingWindow<TupleKey, A>,
     scope: AggScope,
     /// Logical clock: engine ticks fired so far.
     ticks: u64,
@@ -134,7 +134,7 @@ impl<A: PartialAgg> WindowedWorkerBolt<A> {
         self
     }
 
-    fn emit_pane(&mut self, pane: crate::window::Pane<Box<[u8]>, A>, out: &mut Emitter<'_>) {
+    fn emit_pane(&mut self, pane: crate::window::Pane<TupleKey, A>, out: &mut Emitter<'_>) {
         let mut buf = Vec::new();
         for (key, acc) in pane.accs {
             buf.clear();
@@ -150,7 +150,7 @@ impl<A: PartialAgg> Bolt for WindowedWorkerBolt<A> {
         let key_id = tuple.key_id();
         let (key, value) = match self.scope {
             AggScope::PerKey => (tuple.key, tuple.value),
-            AggScope::Global => (Box::from(GLOBAL_KEY), tuple.value),
+            AggScope::Global => (TupleKey::from_slice(GLOBAL_KEY), tuple.value),
         };
         // The logical clock only moves on ticks, so inserts never close a
         // pane mid-stream; `tick` drains instead.
@@ -210,7 +210,7 @@ impl<A: PartialAgg> Slot<A> {
 
 /// Phase two: merges partial aggregates per key.
 pub struct AggregatorBolt<A: PartialAgg> {
-    slots: FxHashMap<Box<[u8]>, Slot<A>>,
+    slots: FxHashMap<TupleKey, Slot<A>>,
     /// Emit-and-clear on every tick (windowed aggregation) instead of only
     /// at end of stream.
     windowed: bool,
@@ -253,7 +253,7 @@ impl<A: PartialAgg> AggregatorBolt<A> {
     }
 
     fn emit_all(&mut self, out: &mut Emitter<'_>) {
-        let mut slots: Vec<(Box<[u8]>, Slot<A>)> = self.slots.drain().collect();
+        let mut slots: Vec<(TupleKey, Slot<A>)> = self.slots.drain().collect();
         slots.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         for (key, slot) in slots {
             let acc = slot.finalize();
@@ -331,11 +331,12 @@ impl Collector {
     /// Collected `(key, value)` pairs summed per key — final totals for
     /// count-like pipelines.
     pub fn totals(&self) -> Vec<(Box<[u8]>, i64)> {
-        let mut map: FxHashMap<Box<[u8]>, i64> = FxHashMap::default();
+        let mut map: FxHashMap<TupleKey, i64> = FxHashMap::default();
         for t in self.sink.lock().expect("collector lock").iter() {
             *map.entry(t.key.clone()).or_insert(0) += t.value;
         }
-        let mut v: Vec<(Box<[u8]>, i64)> = map.into_iter().collect();
+        let mut v: Vec<(Box<[u8]>, i64)> =
+            map.into_iter().map(|(k, v)| (k.into_boxed(), v)).collect();
         v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         v
     }
@@ -345,7 +346,7 @@ impl Collector {
         self.tuples()
             .into_iter()
             .filter(|t| !t.payload.is_empty())
-            .filter_map(|t| A::decode(&t.payload).map(|a| (t.key, a)))
+            .filter_map(|t| A::decode(&t.payload).map(|a| (t.key.into_boxed(), a)))
             .collect()
     }
 }

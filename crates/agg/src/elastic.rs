@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use pkg_elastic::MembershipPlan;
 use pkg_engine::bolt::{Bolt, Emitter};
 use pkg_engine::elastic::{marker_epoch, MigrationBus, MigrationMsg};
-use pkg_engine::tuple::Tuple;
+use pkg_engine::tuple::{Tuple, TupleKey};
 use pkg_hash::{FxHashMap, FxHashSet, HashFamily};
 
 use crate::partial::PartialAgg;
@@ -68,7 +68,7 @@ pub struct ElasticWorkerBolt<A: PartialAgg> {
     /// senders' two-choice routing — any live owner flushes downstream to
     /// the same aggregator.
     family: HashFamily,
-    window: TumblingWindow<Box<[u8]>, A>,
+    window: TumblingWindow<TupleKey, A>,
     /// Logical clock: engine ticks fired so far.
     ticks: u64,
     /// The epoch whose traffic this instance is currently processing.
@@ -130,7 +130,7 @@ impl<A: PartialAgg> ElasticWorkerBolt<A> {
         !self.waiting.is_empty()
     }
 
-    fn emit_pane(&mut self, pane: crate::window::Pane<Box<[u8]>, A>, out: &mut Emitter<'_>) {
+    fn emit_pane(&mut self, pane: crate::window::Pane<TupleKey, A>, out: &mut Emitter<'_>) {
         let mut buf = Vec::new();
         for (key, acc) in pane.accs {
             buf.clear();
@@ -146,6 +146,9 @@ impl<A: PartialAgg> ElasticWorkerBolt<A> {
             match msg {
                 MigrationMsg::State { key, bytes, epoch, from } => match A::decode(&bytes) {
                     Some(part) => {
+                        // The bus speaks boxed keys (cold path); re-inline on
+                        // arrival so window lookups stay allocation-free.
+                        let key = TupleKey::from(key);
                         if let Some(pane) = self.window.merge_partial(key, &part, self.ticks) {
                             self.emit_pane(pane, out);
                         }
@@ -195,8 +198,12 @@ impl<A: PartialAgg> ElasticWorkerBolt<A> {
             if let Some(pane) = self.window.flush() {
                 for (key, acc) in pane.accs {
                     let owner = self.family.choice_in(0, key.as_ref(), live);
-                    let msg =
-                        MigrationMsg::State { epoch, from: self.index, key, bytes: acc.encoded() };
+                    let msg = MigrationMsg::State {
+                        epoch,
+                        from: self.index,
+                        key: key.into_boxed(),
+                        bytes: acc.encoded(),
+                    };
                     self.bus.send(owner, msg);
                 }
             }

@@ -21,10 +21,11 @@
 //! it reschedules the instance via the timer wheel so emulated service time
 //! never occupies a pool worker (see `pkg_agg::ServiceDelay`).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use pkg_agg::{Max, ServiceDelay, Sum, WindowedWorkerBolt};
-use pkg_datagen::text::word_for_rank;
+use pkg_datagen::text::{word_bytes_for_rank, word_for_rank, MAX_WORD_LEN};
 use pkg_datagen::zipf::ZipfTable;
 use pkg_engine::prelude::*;
 use pkg_engine::topology::NodeId;
@@ -178,7 +179,7 @@ impl Bolt for CounterBolt {
 
 /// The KG counter: running per-word totals, top-k flushes, state retained.
 struct RunningTopKBolt {
-    counts: FxHashMap<Box<[u8]>, i64>,
+    counts: FxHashMap<TupleKey, i64>,
     delay: ServiceDelay,
     top_k: usize,
 }
@@ -186,7 +187,7 @@ struct RunningTopKBolt {
 impl RunningTopKBolt {
     fn flush(&mut self, out: &mut Emitter<'_>) {
         // Emit the local top-k running counts (value = running total).
-        let mut entries: Vec<(&Box<[u8]>, &i64)> = self.counts.iter().collect();
+        let mut entries: Vec<(&TupleKey, &i64)> = self.counts.iter().collect();
         entries.sort_unstable_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
         for (key, &count) in entries.into_iter().take(self.top_k) {
             out.emit(Tuple::new(key.clone(), count));
@@ -261,15 +262,41 @@ impl Bolt for AggregatorBolt {
     }
 }
 
+/// Precomputed rank→word table: fixed-width word bytes plus actual length.
+type Lexicon = Vec<([u8; MAX_WORD_LEN], u8)>;
+
 /// Build the three-stage topology: `source → counter → aggregator`.
 ///
 /// Returns the topology and the node ids `(source, counter, aggregator)`.
 pub fn wordcount_topology(cfg: &WordCountConfig) -> (Topology, NodeId, NodeId, NodeId) {
     let mut topo = Topology::new();
     let cfg2 = cfg.clone();
+    // The Zipf exponent fit (80 bisection steps, each an O(K) harmonic sum)
+    // and the rank→word lexicon are identical for every source instance, so
+    // both are built once per topology and shared. Rebuilding them inside
+    // the per-instance factory cost ~13 ms *per source* — at 80 sources
+    // that was 1 s of setup, dwarfing the benchmark's execution time.
+    // Streams are unchanged: only the per-instance RNG seed differs.
+    let shared_zipf = Arc::new(ZipfTable::with_p1(cfg.vocabulary, cfg.p1));
+    // Rank→word synthesis costs a base-70 division chain per tuple; for
+    // realistic vocabularies the whole lexicon is precomputed (10k words
+    // ≈ 230 KiB) so the hot loop is a table lookup. Streams are
+    // byte-identical either way.
+    let shared_words: Option<Arc<Lexicon>> = (cfg.vocabulary <= 1 << 16)
+        .then(|| {
+            Arc::new(
+                (0..cfg.vocabulary)
+                    .map(|r| {
+                        let (word, len) = word_bytes_for_rank(r);
+                        (word, len as u8)
+                    })
+                    .collect(),
+            )
+        });
     let source = topo.add_spout("source", cfg.sources, move |i| {
-        let zipf = ZipfTable::with_p1(cfg2.vocabulary, cfg2.p1);
+        let zipf = Arc::clone(&shared_zipf);
         let mut rng = SmallRng::seed_from_u64(cfg2.seed ^ (i as u64).wrapping_mul(0x9e37));
+        let words = shared_words.clone();
         let mut left = cfg2.messages_per_source;
         let rate = cfg2.source_rate;
         let started = std::time::Instant::now();
@@ -290,7 +317,15 @@ pub fn wordcount_topology(cfg: &WordCountConfig) -> (Topology, NodeId, NodeId, N
             }
             left -= 1;
             let rank = zipf.sample(&mut rng);
-            Some(Tuple::new(word_for_rank(rank).into_bytes(), 1))
+            // Stack/table-buffered word bytes: every word fits the tuple
+            // key's inline capacity, so the source emits without allocating.
+            if let Some(words) = &words {
+                let (word, len) = &words[rank as usize];
+                Some(Tuple::new(&word[..usize::from(*len)], 1))
+            } else {
+                let (word, len) = word_bytes_for_rank(rank);
+                Some(Tuple::new(&word[..len], 1))
+            }
         })
     });
 
@@ -318,8 +353,8 @@ pub fn wordcount_topology(cfg: &WordCountConfig) -> (Topology, NodeId, NodeId, N
 /// Ground-truth word counts for a config (regenerates the same stream).
 pub fn exact_counts(cfg: &WordCountConfig) -> FxHashMap<String, i64> {
     let mut totals: FxHashMap<String, i64> = FxHashMap::default();
+    let zipf = ZipfTable::with_p1(cfg.vocabulary, cfg.p1);
     for i in 0..cfg.sources {
-        let zipf = ZipfTable::with_p1(cfg.vocabulary, cfg.p1);
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9e37));
         for _ in 0..cfg.messages_per_source {
             *totals.entry(word_for_rank(zipf.sample(&mut rng))).or_insert(0) += 1;

@@ -1,0 +1,122 @@
+//! Hot-path microbenches for the raw-speed work: the SPSC ring versus the
+//! mutexed mailbox it replaces on single-sender edges, and batched routing
+//! versus the per-tuple `route` call it amortizes.
+//!
+//! These quantify the two mechanisms the pool executor's throughput gains
+//! rest on. The ring bench moves packets through each transport in bursts
+//! (the pool's batch quantum); the routing bench runs the PKG partitioner
+//! over the same skewed stream at batch sizes 1 / 64 / 256 — batch 1 prices
+//! the abstraction overhead, 256 the steady-state amortization.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pkg_core::{EstimateKind, SchemeSpec, SharedLoads};
+use pkg_datagen::DatasetProfile;
+use pkg_engine::ring::SpscRing;
+use pkg_engine::tuple::Packet;
+use pkg_engine::Tuple;
+
+fn keys(n: usize) -> Vec<u64> {
+    DatasetProfile::lognormal1()
+        .with_messages(n as u64)
+        .with_keys(10_000)
+        .build(1)
+        .iter(2)
+        .map(|m| m.key)
+        .collect()
+}
+
+/// A data packet with an inline (stack) key, matching the flagship word
+/// stream — the transport cost measured here must not include allocation.
+fn packet() -> Packet {
+    Packet::Tuple(Tuple::new(*b"ring-bench-word", 1))
+}
+
+fn bench_edge_transport(c: &mut Criterion) {
+    const BURST: usize = 64;
+    const BURSTS: usize = 16;
+    let mut g = c.benchmark_group("edge_transport");
+    g.throughput(Throughput::Elements((BURST * BURSTS) as u64));
+    g.bench_function("spsc_ring_push_pop", |b| {
+        let ring = SpscRing::new(BURST);
+        b.iter(|| {
+            for _ in 0..BURSTS {
+                for _ in 0..BURST {
+                    assert!(ring.try_push(packet()).is_ok(), "ring never full in-burst");
+                }
+                for _ in 0..BURST {
+                    black_box(ring.pop());
+                }
+            }
+        })
+    });
+    g.bench_function("mutex_mailbox_push_pop", |b| {
+        // The mutexed mailbox's cost structure: every push and every pop
+        // takes the queue lock (the pool drains in batches, but producers
+        // still pay one lock per packet — which is what the ring removes).
+        let mailbox: Mutex<VecDeque<Packet>> = Mutex::new(VecDeque::with_capacity(BURST));
+        b.iter(|| {
+            for _ in 0..BURSTS {
+                for _ in 0..BURST {
+                    mailbox.lock().unwrap().push_back(packet());
+                }
+                for _ in 0..BURST {
+                    black_box(mailbox.lock().unwrap().pop_front());
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_batched_routing(c: &mut Criterion) {
+    let stream = keys(65_536);
+    let fresh = || {
+        let shared = SharedLoads::new(50);
+        SchemeSpec::pkg(EstimateKind::Local).build(50, 42, 0, &shared, None)
+    };
+    let mut g = c.benchmark_group("routing");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("pkg_route_per_tuple", |b| {
+        b.iter_batched(
+            fresh,
+            |mut p| {
+                let mut acc = 0usize;
+                for &k in &stream {
+                    acc = acc.wrapping_add(p.route(k, 0));
+                }
+                black_box(acc)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    for batch in [1usize, 64, 256] {
+        g.bench_function(format!("pkg_route_batch_{batch}"), |b| {
+            b.iter_batched(
+                fresh,
+                |mut p| {
+                    let mut out = Vec::with_capacity(batch);
+                    let mut acc = 0usize;
+                    for chunk in stream.chunks(batch) {
+                        p.route_batch(chunk, 0, &mut out);
+                        for &d in &out {
+                            acc = acc.wrapping_add(d);
+                        }
+                    }
+                    black_box(acc)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_edge_transport, bench_batched_routing
+}
+criterion_main!(benches);

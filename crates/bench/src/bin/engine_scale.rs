@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use pkg_apps::wordcount::{wordcount_topology, WordCountConfig, WordCountVariant};
 use pkg_bench::{seed, TextTable};
+use pkg_engine::tuple::audit;
 use pkg_engine::{ExecutorMode, Runtime, RuntimeOptions};
 
 /// One sweep point: a word-count topology with `instances` total PEIs
@@ -59,6 +60,7 @@ fn config_for(p: &Point, total_messages: u64) -> WordCountConfig {
 
 fn run_point(cfg: &WordCountConfig, mode: ExecutorMode) -> Result<Measurement, String> {
     let (topo, _, _, _) = wordcount_topology(cfg);
+    let (heap0, clones0) = (audit::heap_keys(), audit::tuple_clones());
     let started = Instant::now();
     let stats = Runtime::with_options(RuntimeOptions {
         channel_capacity: 1_024,
@@ -68,6 +70,14 @@ fn run_point(cfg: &WordCountConfig, mode: ExecutorMode) -> Result<Measurement, S
     })
     .run(topo);
     let wall_s = started.elapsed().as_secs_f64();
+    // Zero-alloc audit: word-count keys fit the inline capacity and every
+    // edge in this topology has fan-out 1, so neither counter may grow at
+    // all — any nonzero delta means the hot path regressed to allocating.
+    let (heap_d, clones_d) = (audit::heap_keys() - heap0, audit::tuple_clones() - clones0);
+    debug_assert!(
+        heap_d == 0 && clones_d == 0,
+        "tuple hot path allocated: {heap_d} heap keys, {clones_d} tuple clones"
+    );
     let total = cfg.messages_per_source * cfg.sources as u64;
     // Message conservation: every generated tuple is counted exactly once,
     // and every counter flush reaches the aggregator exactly once.
@@ -214,6 +224,34 @@ fn main() {
         ok = false;
     }
 
+    // Regression gate: compare pool throughput against the most recent
+    // trajectory record of the same kind (smoke vs full — their message
+    // volumes differ, so rates are only comparable within a kind). A
+    // point matching on instance count that lost more than 25% fails the
+    // run; a missing baseline is reported but never fails (first run on a
+    // fresh log, or first smoke record).
+    let baseline = baseline_pool_tputs(smoke);
+    if baseline.is_empty() {
+        let _ = writeln!(out, "regression gate: no prior smoke={smoke} record; skipped");
+    }
+    for (instances, base) in &baseline {
+        let Some(cur) = tput(*instances, "pool") else { continue };
+        let verdict = if cur < 0.75 * base {
+            ok = false;
+            "FAIL (>25% regression)"
+        } else {
+            "OK"
+        };
+        let _ = writeln!(
+            out,
+            "regression gate: pool @ {instances} instances {:.2}x of last record \
+             ({:.0} vs {:.0} tuples/s) .. {verdict}",
+            cur / base,
+            cur,
+            base,
+        );
+    }
+
     out.push('\n');
     out.push_str(&tsv);
     pkg_bench::emit("engine_scale.tsv", &out);
@@ -223,6 +261,32 @@ fn main() {
         eprintln!("engine_scale: checks FAILED");
         std::process::exit(1);
     }
+}
+
+/// Pool throughput per instance count from the most recent trajectory
+/// record whose `smoke` flag matches, or empty when the log has none.
+/// The log is machine-appended one-record-per-line JSON (see
+/// [`append_trajectory`]), so a string scan is enough — no JSON parser in
+/// the workspace, and none needed.
+fn baseline_pool_tputs(smoke: bool) -> Vec<(usize, f64)> {
+    let path = std::env::var("PKG_BENCH_LOG").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let Ok(text) = std::fs::read_to_string(&path) else { return Vec::new() };
+    let want = format!("\"smoke\": {smoke}");
+    let Some(line) = text.lines().rev().find(|l| l.contains(&want)) else { return Vec::new() };
+    let mut points = Vec::new();
+    for frag in line.split("{\"instances\":").skip(1) {
+        let frag = frag.split('}').next().unwrap_or("");
+        if !frag.contains("\"mode\": \"pool\"") {
+            continue;
+        }
+        let instances = frag.split(',').next().and_then(|s| s.trim().parse::<usize>().ok());
+        let tput =
+            frag.split("\"tuples_per_sec\":").nth(1).and_then(|s| s.trim().parse::<f64>().ok());
+        if let (Some(instances), Some(tput)) = (instances, tput) {
+            points.push((instances, tput));
+        }
+    }
+    points
 }
 
 /// Append this run's tuples/sec to the in-repo perf-trajectory log

@@ -82,7 +82,7 @@ type Triple = (Box<[u8]>, i64, Box<[u8]>);
 
 /// Collected aggregator output as [`Triple`]s.
 fn triples(c: &Collector) -> Vec<Triple> {
-    c.tuples().into_iter().map(|t| (t.key, t.value, t.payload)).collect()
+    c.tuples().into_iter().map(|t| (t.key.into_boxed(), t.value, t.payload)).collect()
 }
 
 /// Run the two-phase word count over `per_source` tuples per spout; elastic

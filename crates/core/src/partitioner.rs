@@ -20,6 +20,21 @@ pub trait Partitioner: Send {
     /// returns the worker index in `[0, n)`.
     fn route(&mut self, key: u64, ts_ms: u64) -> usize;
 
+    /// Route a whole batch of keys arriving at stream time `ts_ms`,
+    /// appending one worker index per key to `out` (cleared first).
+    ///
+    /// Decisions are made per key **in stream order** with exactly the same
+    /// state updates as [`Self::route`] — batching amortizes the dispatch,
+    /// never changes a choice. The theory is indifferent: between two
+    /// argmin evaluations the load vector moves by at most the batch size,
+    /// so the greedy process is unchanged (pinned by the `route_batch`
+    /// property test for every [`SchemeSpec`]).
+    fn route_batch(&mut self, keys: &[u64], ts_ms: u64, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(keys.len());
+        out.extend(keys.iter().map(|&k| self.route(k, ts_ms)));
+    }
+
     /// Number of downstream workers.
     fn n(&self) -> usize;
 

@@ -76,8 +76,23 @@ pub(crate) enum EdgeTx {
     /// (thread-per-instance executor).
     Channels(Vec<Sender<Packet>>),
     /// Task ids of the downstream instances (pool executor); delivery goes
-    /// through the shared pool state's mailboxes.
+    /// through the shared pool state's mutexed mailboxes.
     Tasks(Vec<usize>),
+    /// Task ids of downstream instances fed by exactly one upstream sender
+    /// (pool executor); delivery goes through each destination's bounded
+    /// SPSC ring, bypassing the mailbox mutex entirely. Selected at
+    /// `build_out_edges` time — see [`crate::ring`].
+    TaskRings(Vec<usize>),
+}
+
+impl EdgeTx {
+    /// Number of downstream instances on this edge.
+    pub(crate) fn fanout(&self) -> usize {
+        match self {
+            EdgeTx::Channels(txs) => txs.len(),
+            EdgeTx::Tasks(dests) | EdgeTx::TaskRings(dests) => dests.len(),
+        }
+    }
 }
 
 /// Delivery discipline of an [`Emitter`].
@@ -106,7 +121,7 @@ impl Sink<'_> {
                     unreachable!("downstream alive until Eof");
                 }
             }
-            (EdgeTx::Tasks(dests), Sink::Pool { shared, outbox }) => {
+            (EdgeTx::Tasks(dests) | EdgeTx::TaskRings(dests), Sink::Pool { shared, outbox }) => {
                 let task = dests[dest];
                 // Once anything spilled, everything spills: per-destination
                 // FIFO must survive the detour through the outbox.
@@ -119,7 +134,8 @@ impl Sink<'_> {
                     outbox.push_back((task, packet));
                 }
             }
-            (EdgeTx::Channels(_), Sink::Pool { .. }) | (EdgeTx::Tasks(_), Sink::Blocking) => {
+            (EdgeTx::Channels(_), Sink::Pool { .. })
+            | (EdgeTx::Tasks(_) | EdgeTx::TaskRings(_), Sink::Blocking) => {
                 unreachable!("edge transport and emitter sink are built by the same executor")
             }
         }
@@ -128,47 +144,45 @@ impl Sink<'_> {
 
 impl Emitter<'_> {
     /// Emit a tuple on every outgoing edge.
+    ///
+    /// The common single-edge case moves `tuple` straight through to
+    /// delivery with zero clones; only a genuine fan-out (several out-edges,
+    /// or a broadcast grouping) pays for copies — and then exactly
+    /// `fan-out − 1` of them, the last destination taking ownership.
     pub fn emit(&mut self, mut tuple: Tuple) {
         tuple.born_ns = if self.inherit_born_ns != 0 { self.inherit_born_ns } else { self.now_ns };
         *self.emitted += 1;
         let key_id = tuple.key_id();
-        // All but the last edge get clones; the last takes ownership.
-        let n_edges = self.edges.len();
-        if n_edges == 0 {
+        let Some((last, rest)) = self.edges.split_last_mut() else {
             return;
+        };
+        for edge in rest {
+            Self::emit_on(edge, &mut self.sink, self.now_ns, key_id, tuple.clone());
         }
-        for i in 0..n_edges {
-            let t = if i + 1 == n_edges {
-                std::mem::replace(&mut tuple, Tuple::new(Vec::new(), 0))
-            } else {
-                tuple.clone()
-            };
-            let edge = &mut self.edges[i];
-            // Elastic edges: if this tuple crosses a membership threshold,
-            // announce the new epoch in-band to every downstream instance
-            // *before* routing it under the new live set. Markers are
-            // control traffic — they bypass the router and do not count as
-            // emissions.
-            while let Some(epoch) = edge.router.advance_epoch() {
-                let n = match &edge.tx {
-                    EdgeTx::Channels(txs) => txs.len(),
-                    EdgeTx::Tasks(dests) => dests.len(),
-                };
-                let marker = crate::elastic::epoch_marker(epoch, self.now_ns);
-                for w in 0..n {
-                    self.sink.deliver(&edge.tx, w, Packet::Tuple(marker.clone()));
-                }
+        Self::emit_on(last, &mut self.sink, self.now_ns, key_id, tuple);
+    }
+
+    /// Route and deliver one owned tuple on one edge.
+    fn emit_on(edge: &mut OutEdge, sink: &mut Sink<'_>, now_ns: u64, key_id: u64, tuple: Tuple) {
+        // Elastic edges: if this tuple crosses a membership threshold,
+        // announce the new epoch in-band to every downstream instance
+        // *before* routing it under the new live set. Markers are control
+        // traffic — they bypass the router and do not count as emissions.
+        while let Some(epoch) = edge.router.advance_epoch() {
+            let marker = crate::elastic::epoch_marker(epoch, now_ns);
+            for w in 0..edge.tx.fanout() {
+                sink.deliver(&edge.tx, w, Packet::Tuple(marker.clone()));
             }
-            match edge.router.route(key_id) {
-                Target::One(w) => self.sink.deliver(&edge.tx, w, Packet::Tuple(t)),
-                Target::All => {
-                    let n = match &edge.tx {
-                        EdgeTx::Channels(txs) => txs.len(),
-                        EdgeTx::Tasks(dests) => dests.len(),
-                    };
-                    for w in 0..n {
-                        self.sink.deliver(&edge.tx, w, Packet::Tuple(t.clone()));
-                    }
+        }
+        match edge.router.route(key_id) {
+            Target::One(w) => sink.deliver(&edge.tx, w, Packet::Tuple(tuple)),
+            Target::All => {
+                let n = edge.tx.fanout();
+                for w in 1..n {
+                    sink.deliver(&edge.tx, w, Packet::Tuple(tuple.clone()));
+                }
+                if n > 0 {
+                    sink.deliver(&edge.tx, 0, Packet::Tuple(tuple));
                 }
             }
         }
@@ -234,7 +248,7 @@ impl Emitter<'_> {
 /// variants (flushing partials, top-k tracking).
 #[derive(Debug, Default)]
 pub struct CountingBolt {
-    counts: FxHashMap<Box<[u8]>, i64>,
+    counts: FxHashMap<crate::tuple::TupleKey, i64>,
 }
 
 impl CountingBolt {

@@ -45,7 +45,9 @@ fn send_eof(edges: &mut [OutEdge]) {
                     let _ = tx.send(Packet::Eof);
                 }
             }
-            EdgeTx::Tasks(_) => unreachable!("thread executor edges are channels"),
+            EdgeTx::Tasks(_) | EdgeTx::TaskRings(_) => {
+                unreachable!("thread executor edges are channels")
+            }
         }
     }
 }

@@ -98,6 +98,85 @@ pub enum Target {
     All,
 }
 
+/// Reusable output buffer of [`Router::route_batch`]: per-tuple
+/// destinations plus the tuple indices *grouped by destination* (a stable
+/// counting sort), so the executor can deliver each destination's run with
+/// one lock/wake instead of one per tuple.
+///
+/// Buffers are retained across batches — steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct TargetBatch {
+    /// Destination of tuple `i`, in stream order.
+    dests: Vec<u32>,
+    /// Tuple indices stably sorted by destination.
+    order: Vec<u32>,
+    /// `(dest, start, end)` ranges into `order`, ascending by `dest`, one
+    /// per destination that received at least one tuple.
+    runs: Vec<(u32, u32, u32)>,
+    /// Scratch: per-destination counts / cursor positions.
+    counts: Vec<u32>,
+}
+
+impl TargetBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, keys: usize) {
+        self.dests.clear();
+        self.dests.reserve(keys);
+        self.order.clear();
+        self.runs.clear();
+    }
+
+    /// Group `dests` by destination with a stable counting sort: O(keys + n)
+    /// and allocation-free once the scratch buffers are warm.
+    fn group(&mut self, n: usize) {
+        self.counts.clear();
+        self.counts.resize(n, 0);
+        for &d in &self.dests {
+            self.counts[d as usize] += 1;
+        }
+        // Prefix sums: counts[d] becomes the start cursor of d's run.
+        let mut start = 0u32;
+        for d in 0..n {
+            let c = self.counts[d];
+            self.counts[d] = start;
+            if c > 0 {
+                self.runs.push((d as u32, start, start + c));
+            }
+            start += c;
+        }
+        self.order.resize(self.dests.len(), 0);
+        for (i, &d) in self.dests.iter().enumerate() {
+            let pos = &mut self.counts[d as usize];
+            self.order[*pos as usize] = i as u32;
+            *pos += 1;
+        }
+    }
+
+    /// Destination of tuple `i`, in stream order.
+    pub fn dest(&self, i: usize) -> usize {
+        self.dests[i] as usize
+    }
+
+    /// Number of routed tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dests.is_empty()
+    }
+
+    /// Per-destination runs: `(dest, tuple indices in stream order)`.
+    pub fn runs(&self) -> impl Iterator<Item = (usize, &[u32])> {
+        self.runs.iter().map(move |&(d, s, e)| (d as usize, &self.order[s as usize..e as usize]))
+    }
+}
+
 /// Per-sender routing state for one outgoing edge.
 ///
 /// Every upstream instance owns its own `Router` — for `Partial` this is
@@ -232,6 +311,63 @@ impl Router {
     /// Downstream instance count.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Whether [`Router::route_batch`] may be used for this edge.
+    ///
+    /// Two groupings opt out: `Broadcast` (no single destination to group
+    /// by) and `Elastic` (epoch markers must interleave with the tuples
+    /// that crossed each membership threshold, which only the per-tuple
+    /// path can do). Every greedy scheme is batchable *by the paper's own
+    /// argument*: between two argmin evaluations the loads move by at most
+    /// the batch size, so deferring delivery (not the decision — decisions
+    /// stay per-tuple, in stream order) changes nothing.
+    pub fn is_batchable(&self) -> bool {
+        !matches!(self.kind, RouterKind::Elastic { .. } | RouterKind::Broadcast)
+    }
+
+    /// Route a whole batch of key fingerprints in one pass, grouping the
+    /// results by destination in `out`.
+    ///
+    /// Decisions are made per key **in stream order** with exactly the same
+    /// state updates as [`Router::route`], so the chosen destinations are
+    /// byte-identical to the one-at-a-time path (pinned by proptest); only
+    /// the *delivery* is grouped. Callers must check
+    /// [`Router::is_batchable`] first.
+    pub fn route_batch(&mut self, keys: &[u64], out: &mut TargetBatch) {
+        out.begin(keys.len());
+        match &mut self.kind {
+            RouterKind::Shuffle { next } => {
+                for _ in keys {
+                    out.dests.push(*next as u32);
+                    *next += 1;
+                    if *next == self.n {
+                        *next = 0;
+                    }
+                }
+            }
+            RouterKind::Key { seed } => {
+                use pkg_hash::StreamKey;
+                let (seed, n) = (*seed, self.n as u64);
+                out.dests.extend(keys.iter().map(|k| (k.hash_seeded(seed) % n) as u32));
+            }
+            RouterKind::Partial { pkg } => {
+                out.dests.extend(keys.iter().map(|&k| pkg.route(k, 0) as u32));
+            }
+            RouterKind::PartialHot { pkg } => {
+                out.dests.extend(keys.iter().map(|&k| pkg.route(k, 0) as u32));
+            }
+            RouterKind::Adaptive { choices } => {
+                out.dests.extend(keys.iter().map(|&k| choices.route(k, 0) as u32));
+            }
+            RouterKind::Global => {
+                out.dests.extend(keys.iter().map(|_| 0u32));
+            }
+            RouterKind::Elastic { .. } | RouterKind::Broadcast => {
+                unreachable!("caller checks is_batchable before routing a batch")
+            }
+        }
+        out.group(self.n);
     }
 }
 
@@ -380,6 +516,64 @@ mod tests {
             assert_eq!(a.advance_epoch(), None);
             assert_eq!(a.route(k % 37), b.route(k % 37));
         }
+    }
+
+    #[test]
+    fn route_batch_matches_per_tuple_route_for_every_batchable_grouping() {
+        let groupings = [
+            Grouping::Shuffle,
+            Grouping::Key,
+            Grouping::partial_key(),
+            Grouping::PartialHot { hot_threshold: 0.05, d_hot: 6 },
+            Grouping::d_choices(),
+            Grouping::w_choices(),
+            Grouping::Global,
+        ];
+        // A skewed stream: key 0 is hot, the tail cycles.
+        let keys: Vec<u64> = (0..5_000u64).map(|i| if i % 3 == 0 { 0 } else { i % 97 }).collect();
+        for g in groupings {
+            let mut one = Router::new(&g, 12, 11, 2);
+            let mut batched = Router::new(&g, 12, 11, 2);
+            assert!(batched.is_batchable());
+            let mut out = TargetBatch::new();
+            for chunk in keys.chunks(64) {
+                batched.route_batch(chunk, &mut out);
+                assert_eq!(out.len(), chunk.len());
+                for (i, &k) in chunk.iter().enumerate() {
+                    assert_eq!(one.route(k), Target::One(out.dest(i)), "{g:?} diverged at key {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn target_batch_runs_group_stably_by_destination() {
+        let mut r = Router::new(&Grouping::Key, 4, 3, 0);
+        let keys: Vec<u64> = (0..257).collect();
+        let mut out = TargetBatch::new();
+        r.route_batch(&keys, &mut out);
+        let mut seen = 0usize;
+        let mut prev_dest = None;
+        for (dest, idxs) in out.runs() {
+            assert!(prev_dest.map_or(true, |p| p < dest), "runs ascend by destination");
+            prev_dest = Some(dest);
+            assert!(!idxs.is_empty());
+            for w in idxs.windows(2) {
+                assert!(w[0] < w[1], "within a run, stream order is preserved");
+            }
+            for &i in idxs {
+                assert_eq!(out.dest(i as usize), dest);
+            }
+            seen += idxs.len();
+        }
+        assert_eq!(seen, keys.len(), "runs partition the batch");
+    }
+
+    #[test]
+    fn elastic_and_broadcast_are_not_batchable() {
+        use pkg_elastic::MembershipPlan;
+        assert!(!Router::new(&Grouping::elastic(MembershipPlan::new(4)), 4, 0, 0).is_batchable());
+        assert!(!Router::new(&Grouping::Broadcast, 4, 0, 0).is_batchable());
     }
 
     #[test]

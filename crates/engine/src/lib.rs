@@ -43,6 +43,7 @@ pub mod executor;
 pub mod grouping;
 pub mod metrics;
 pub(crate) mod pool;
+pub mod ring;
 pub mod runtime;
 pub mod spout;
 pub(crate) mod sync;
@@ -58,7 +59,7 @@ pub mod prelude {
     pub use crate::runtime::{ExecutorMode, InstanceCapacities, Runtime, RuntimeOptions};
     pub use crate::spout::{spout_from_fn, spout_from_iter, Spout};
     pub use crate::topology::Topology;
-    pub use crate::tuple::Tuple;
+    pub use crate::tuple::{Tuple, TupleKey};
 }
 
 pub use bolt::{Bolt, Emitter};
@@ -68,4 +69,4 @@ pub use metrics::{InstanceStats, RunStats};
 pub use runtime::{edge_seed, ExecutorMode, InstanceCapacities, Runtime, RuntimeOptions};
 pub use spout::Spout;
 pub use topology::Topology;
-pub use tuple::Tuple;
+pub use tuple::{Tuple, TupleKey};

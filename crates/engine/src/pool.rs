@@ -56,18 +56,20 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
+use crossbeam::deque::{Steal, WorkStealingDeque};
 use pkg_metrics::LatencyHistogram;
 
 use crate::bolt::{Bolt, EdgeTx, Emitter, OutEdge, Sink};
 use crate::executor::StateSampler;
-use crate::grouping::Router;
+use crate::grouping::{Router, TargetBatch};
 use crate::metrics::{InstanceStats, RunStats};
+use crate::ring::SpscRing;
 use crate::spout::Spout;
 use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering::SeqCst};
 use crate::sync::{lock, Instant, Mutex, Parker, Unparker};
 use crate::timer::TimerWheel;
 use crate::topology::{ComponentKind, Topology};
-use crate::tuple::{Packet, PacketBatch};
+use crate::tuple::{Packet, PacketBatch, Tuple};
 
 /// Default batch quantum: packets drained per task activation.
 pub const DEFAULT_BATCH: usize = 256;
@@ -143,6 +145,15 @@ struct TaskBody {
     outbox: VecDeque<(usize, Packet)>,
     /// Packets drained from the mailbox but not yet processed.
     inbox: PacketBatch,
+    /// Scratch for the batched spout path (`route_batch`): routing keys of
+    /// the tuples generated this activation. Retained across activations so
+    /// steady state allocates nothing.
+    batch_keys: Vec<u64>,
+    /// Scratch: the generated tuples, taken (`Option::take`) one by one as
+    /// per-destination runs are delivered.
+    batch_tuples: Vec<Option<Tuple>>,
+    /// Scratch: destinations grouped by the batch router.
+    targets: TargetBatch,
     processed: u64,
     emitted: u64,
     ticks: u64,
@@ -156,6 +167,35 @@ struct TaskBody {
 }
 
 impl TaskBody {
+    fn new(
+        component: String,
+        instance: usize,
+        kind: TaskKind,
+        edges: Vec<OutEdge>,
+        stall_scale: f64,
+    ) -> Self {
+        Self {
+            component,
+            instance,
+            kind,
+            edges,
+            outbox: VecDeque::new(),
+            inbox: PacketBatch::default(),
+            batch_keys: Vec::new(),
+            batch_tuples: Vec::new(),
+            targets: TargetBatch::new(),
+            processed: 0,
+            emitted: 0,
+            ticks: 0,
+            activations: 0,
+            stall_scale,
+            stalled_ns: 0,
+            latency: LatencyHistogram::new(5),
+            sampler: StateSampler::default(),
+            final_state: 0,
+        }
+    }
+
     fn into_stats(self) -> InstanceStats {
         InstanceStats {
             component: self.component,
@@ -180,9 +220,18 @@ struct MailboxInner {
     waiters: Vec<usize>,
 }
 
-struct Mailbox {
-    cap: usize,
-    inner: Mutex<MailboxInner>,
+/// A task's input queue. The transport is chosen at `run_pool` build time
+/// per destination and encoded in the matching [`EdgeTx`] variant:
+///
+/// | upstream sender instances | transport | edge |
+/// |---------------------------|-----------|------|
+/// | exactly 1 (and rings on)  | [`SpscRing`] — lock-free indices | `TaskRings` |
+/// | several (MPSC)            | mutexed `VecDeque` | `Tasks` |
+enum Mailbox {
+    /// Multi-producer: every push/drain takes the mailbox lock.
+    Mutexed { cap: usize, inner: Mutex<MailboxInner> },
+    /// Single-producer: bounded SPSC ring, no lock on the packet path.
+    Ring(SpscRing),
 }
 
 struct TaskSlot {
@@ -203,8 +252,11 @@ struct Sched {
 pub(crate) struct Shared {
     tasks: Vec<TaskSlot>,
     sched: Mutex<Sched>,
-    /// Per-worker run queues for self-requeues; idle workers steal.
-    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Per-worker run queues for self-requeues; idle workers steal. Each is
+    /// a Chase–Lev deque: worker `w` alone pushes/pops queue `w` (LIFO,
+    /// cache-hot), siblings steal the oldest entry by CAS — no lock on the
+    /// requeue path.
+    locals: Vec<WorkStealingDeque>,
     /// Idle workers awaiting work, newest last.
     idlers: Mutex<Vec<(usize, Unparker)>>,
     /// Tasks not yet `DONE`.
@@ -220,70 +272,135 @@ impl Shared {
         (self.epoch.elapsed().as_nanos() as u64).max(1)
     }
 
+    fn mailbox(&self, tid: usize) -> &Mailbox {
+        let Some(mb) = self.tasks[tid].mailbox.as_ref() else {
+            unreachable!("edge destinations are bolts");
+        };
+        mb
+    }
+
     /// Emitter fast path: non-blocking push into `dest`'s mailbox. On
     /// `Err` the caller spills to its outbox and parks at activation end.
     pub(crate) fn try_push(&self, dest: usize, packet: Packet) -> Result<(), Packet> {
-        let Some(mb) = self.tasks[dest].mailbox.as_ref() else {
-            unreachable!("edge destinations are bolts");
-        };
-        {
-            let mut inner = lock(&mb.inner);
-            if inner.queue.len() >= mb.cap {
-                return Err(packet);
+        match self.mailbox(dest) {
+            Mailbox::Mutexed { cap, inner } => {
+                let mut inner = lock(inner);
+                if inner.queue.len() >= *cap {
+                    return Err(packet);
+                }
+                inner.queue.push_back(packet);
             }
-            inner.queue.push_back(packet);
+            Mailbox::Ring(ring) => ring.try_push(packet)?,
         }
         self.wake(dest, &WakeKind::Notify);
         Ok(())
     }
 
     /// Delivery path: like [`Shared::try_push`], but on full registers
-    /// `waiter` for a backpressure-release wake — under the same lock as
-    /// the capacity check, so the release can never be missed.
+    /// `waiter` for a backpressure-release wake — for the mutexed mailbox
+    /// under the same lock as the capacity check, for the ring via its
+    /// announce→re-check protocol — so the release can never be missed.
     fn push_or_park(&self, dest: usize, packet: Packet, waiter: usize) -> Result<(), Packet> {
-        let Some(mb) = self.tasks[dest].mailbox.as_ref() else {
-            unreachable!("edge destinations are bolts");
-        };
-        {
-            let mut inner = lock(&mb.inner);
-            if inner.queue.len() >= mb.cap {
-                debug_assert_ne!(
-                    // ordering: SeqCst — debug-only sanity read (SC-only model)
-                    self.tasks[dest].state.load(SeqCst),
-                    DONE,
-                    "a done task cannot still have senders (Eof protocol)"
-                );
-                if !inner.waiters.contains(&waiter) {
-                    inner.waiters.push(waiter);
+        match self.mailbox(dest) {
+            Mailbox::Mutexed { cap, inner } => {
+                let mut inner = lock(inner);
+                if inner.queue.len() >= *cap {
+                    debug_assert_ne!(
+                        // ordering: SeqCst — debug-only sanity read (SC-only model)
+                        self.tasks[dest].state.load(SeqCst),
+                        DONE,
+                        "a done task cannot still have senders (Eof protocol)"
+                    );
+                    if !inner.waiters.contains(&waiter) {
+                        inner.waiters.push(waiter);
+                    }
+                    return Err(packet);
                 }
-                return Err(packet);
+                inner.queue.push_back(packet);
             }
-            inner.queue.push_back(packet);
+            Mailbox::Ring(ring) => ring.push_or_park(packet, waiter)?,
         }
         self.wake(dest, &WakeKind::Notify);
         Ok(())
     }
 
+    /// Batched delivery of one destination's routed run: take each indexed
+    /// tuple out of `tuples` and push it to `dest` — one lock acquisition
+    /// and at most one wake for the whole run, instead of one per tuple.
+    /// Tuples that do not fit (or follow one that spilled, anywhere) go to
+    /// `outbox` in order, preserving the all-or-spill FIFO discipline of
+    /// [`Sink::Pool`].
+    fn push_run(
+        &self,
+        dest: usize,
+        run: &[u32],
+        tuples: &mut [Option<Tuple>],
+        outbox: &mut VecDeque<(usize, Packet)>,
+    ) {
+        // `next` = first run index not yet handled; `accepted` = how many
+        // actually landed in the mailbox (a ring rejection consumes its
+        // index by spilling the taken packet straight to the outbox).
+        let mut next = 0usize;
+        let mut accepted = 0usize;
+        if outbox.is_empty() {
+            match self.mailbox(dest) {
+                Mailbox::Mutexed { cap, inner } => {
+                    let mut inner = lock(inner);
+                    while next < run.len() && inner.queue.len() < *cap {
+                        inner.queue.push_back(take_routed(tuples, run[next]));
+                        next += 1;
+                    }
+                    accepted = next;
+                }
+                Mailbox::Ring(ring) => {
+                    // One tail publication for the whole run (the batch
+                    // analogue of the mutexed arm's single lock hold).
+                    let mut supply = run.iter().map(|&idx| take_routed(tuples, idx));
+                    accepted = ring.push_batch(&mut supply);
+                    next = accepted;
+                }
+            }
+        }
+        for &idx in &run[next..] {
+            outbox.push_back((dest, take_routed(tuples, idx)));
+        }
+        if accepted > 0 {
+            self.wake(dest, &WakeKind::Notify);
+        }
+    }
+
     /// Drain up to `max` packets of `tid`'s own mailbox into `inbox`,
     /// waking any producers that were parked on the mailbox being full.
     fn refill_inbox(&self, tid: usize, inbox: &mut PacketBatch, max: usize) -> usize {
-        let Some(mb) = self.tasks[tid].mailbox.as_ref() else {
-            unreachable!("bolts have mailboxes");
-        };
-        let (moved, waiters) = {
-            let mut inner = lock(&mb.inner);
-            let moved = inbox.refill(&mut inner.queue, max);
-            let waiters = if moved > 0 && !inner.waiters.is_empty() {
-                std::mem::take(&mut inner.waiters)
-            } else {
-                Vec::new()
-            };
-            (moved, waiters)
-        };
-        for w in waiters {
-            self.wake(w, &WakeKind::Unpark);
+        match self.mailbox(tid) {
+            Mailbox::Mutexed { inner, .. } => {
+                let (moved, waiters) = {
+                    let mut inner = lock(inner);
+                    let moved = inbox.refill(&mut inner.queue, max);
+                    let waiters = if moved > 0 && !inner.waiters.is_empty() {
+                        std::mem::take(&mut inner.waiters)
+                    } else {
+                        Vec::new()
+                    };
+                    (moved, waiters)
+                };
+                for w in waiters {
+                    self.wake(w, &WakeKind::Unpark);
+                }
+                moved
+            }
+            Mailbox::Ring(ring) => {
+                // One head publication for the whole drain (the batch
+                // analogue of the mutexed arm's single lock hold).
+                let moved = ring.pop_batch(max, &mut |p| inbox.push(p));
+                if moved > 0 {
+                    for w in ring.take_waiters() {
+                        self.wake(w, &WakeKind::Unpark);
+                    }
+                }
+                moved
+            }
         }
-        moved
     }
 
     /// Drive the state machine for a wake; returns whether the caller must
@@ -344,11 +461,20 @@ impl Shared {
     }
 }
 
+/// Take tuple `idx` out of the batch scratch (each routed tuple is
+/// delivered exactly once).
+fn take_routed(tuples: &mut [Option<Tuple>], idx: u32) -> Packet {
+    let Some(tuple) = tuples[idx as usize].take() else {
+        unreachable!("routed tuple index {idx} already taken");
+    };
+    Packet::Tuple(tuple)
+}
+
 /// Append one Eof per downstream instance (all edges) to the outbox.
 fn queue_eofs(edges: &[OutEdge], outbox: &mut VecDeque<(usize, Packet)>) {
     for edge in edges {
         match &edge.tx {
-            EdgeTx::Tasks(dests) => {
+            EdgeTx::Tasks(dests) | EdgeTx::TaskRings(dests) => {
                 for &d in dests {
                     outbox.push_back((d, Packet::Eof));
                 }
@@ -385,6 +511,9 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
         edges,
         outbox,
         inbox,
+        batch_keys,
+        batch_tuples,
+        targets,
         processed,
         emitted,
         ticks,
@@ -398,7 +527,47 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
     let stall_scale = *stall_scale;
     match kind {
         TaskKind::Spout { spout, exhausted } => {
-            if !*exhausted {
+            if !*exhausted && edges.len() == 1 && edges[0].router.is_batchable() {
+                // Batched hot path: generate up to a quantum of tuples,
+                // route them all in one `route_batch` pass, and deliver
+                // each destination's run with one lock acquisition and one
+                // wake — instead of per-tuple emitter setup, routing, and
+                // mailbox locking. Routing results are byte-identical to
+                // the per-tuple path (pinned by `grouping.rs` tests and
+                // `engine_executor_parity.rs`): the router consumes keys in
+                // stream order either way.
+                let now_ns = shared.now_ns();
+                batch_keys.clear();
+                batch_tuples.clear();
+                while batch_tuples.len() < shared.batch {
+                    match spout.next() {
+                        Some(mut tuple) => {
+                            tuple.born_ns = now_ns;
+                            batch_keys.push(tuple.key_id());
+                            batch_tuples.push(Some(tuple));
+                        }
+                        None => {
+                            *exhausted = true;
+                            break;
+                        }
+                    }
+                }
+                *processed += batch_keys.len() as u64;
+                *emitted += batch_keys.len() as u64;
+                let edge = &mut edges[0];
+                edge.router.route_batch(batch_keys, targets);
+                let (EdgeTx::Tasks(dests) | EdgeTx::TaskRings(dests)) = &edge.tx else {
+                    unreachable!("pool tasks only have pool edges");
+                };
+                for (d, run) in targets.runs() {
+                    shared.push_run(dests[d], run, batch_tuples, outbox);
+                }
+                if *exhausted {
+                    queue_eofs(edges, outbox);
+                }
+            } else if !*exhausted {
+                // Per-tuple fallback: multi-edge fan-out, broadcast, or
+                // elastic edges (epoch markers) need the full emitter.
                 for _ in 0..shared.batch {
                     match spout.next() {
                         Some(tuple) => {
@@ -471,11 +640,20 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                     }
                 }
             }
-            // 2. Input packets, up to the batch quantum.
+            // 2. Input packets, up to the batch quantum. One clock read per
+            //    mailbox refill instead of per tuple: tuples drained
+            //    together share a timestamp, with skew bounded by one drain
+            //    quantum — far below the scheduling granularity the latency
+            //    histogram resolves — while saving a `clock_gettime` on
+            //    every packet.
             let mut budget = shared.batch;
+            let mut now_ns = shared.now_ns();
             while budget > 0 {
-                if inbox.is_empty() && shared.refill_inbox(tid, inbox, budget) == 0 {
-                    break;
+                if inbox.is_empty() {
+                    if shared.refill_inbox(tid, inbox, budget) == 0 {
+                        break;
+                    }
+                    now_ns = shared.now_ns();
                 }
                 let Some(packet) = inbox.pop() else {
                     unreachable!("refill reported packets moved");
@@ -483,7 +661,6 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                 budget -= 1;
                 match packet {
                     Packet::Tuple(tuple) => {
-                        let now_ns = shared.now_ns();
                         latency.record(now_ns.saturating_sub(tuple.born_ns));
                         let mut em = Emitter {
                             edges,
@@ -633,7 +810,12 @@ fn run_task(shared: &Shared, tid: usize, wid: usize) {
     let requeue = || {
         // ordering: SeqCst — QUEUED before the id is published to the queue (SC-only model)
         slot.state.store(QUEUED, SeqCst);
-        lock(&shared.locals[wid]).push_back(tid);
+        if !shared.locals[wid].push(tid) {
+            // Deques are sized to the task count and a task id is queued at
+            // most once (state machine), so a full deque is unreachable —
+            // but the global injector is a safe overflow all the same.
+            lock(&shared.sched).runq.push_back(tid);
+        }
     };
     settle(shared, tid, &outcome, requeue);
 }
@@ -642,9 +824,14 @@ fn steal(shared: &Shared, wid: usize) -> Option<usize> {
     let n = shared.locals.len();
     for k in 1..n {
         let victim = (wid + k) % n;
-        let stolen = lock(&shared.locals[victim]).pop_back();
-        if stolen.is_some() {
-            return stolen;
+        loop {
+            match shared.locals[victim].steal() {
+                Steal::Success(tid) => return Some(tid),
+                // Lost a CAS race: someone else is making progress on this
+                // victim; try it again before moving on.
+                Steal::Retry => {}
+                Steal::Empty => break,
+            }
         }
     }
     None
@@ -669,8 +856,7 @@ fn worker_loop(shared: &Shared, wid: usize) {
             }
             s.runq.pop_front()
         };
-        let task =
-            task.or_else(|| lock(&shared.locals[wid]).pop_front()).or_else(|| steal(shared, wid));
+        let task = task.or_else(|| shared.locals[wid].pop()).or_else(|| steal(shared, wid));
         match task {
             Some(tid) => {
                 run_task(shared, tid, wid);
@@ -707,7 +893,9 @@ fn worker_loop(shared: &Shared, wid: usize) {
 }
 
 /// Execute `topology` on a cooperative pool of `workers` threads with a
-/// per-activation quantum of `batch` packets.
+/// per-activation quantum of `batch` packets. With `spsc_rings` on,
+/// destinations fed by exactly one upstream sender instance get lock-free
+/// SPSC ring mailboxes instead of mutexed queues.
 pub(crate) fn run_pool(
     topology: &Topology,
     channel_capacity: usize,
@@ -715,6 +903,7 @@ pub(crate) fn run_pool(
     workers: usize,
     batch: usize,
     capacities: &crate::runtime::InstanceCapacities,
+    spsc_rings: bool,
 ) -> RunStats {
     // Pool mailboxes are asynchronous queues with no rendezvous mode: a
     // capacity-0 mailbox could never accept a packet and every producer
@@ -730,6 +919,12 @@ pub(crate) fn run_pool(
         first_task.push(total_instances);
         total_instances += c.parallelism;
     }
+
+    // A destination whose in-edges carry exactly one upstream sender
+    // instance in total is single-producer: its mailbox can be a lock-free
+    // SPSC ring (the task state machine serializes that sender's
+    // activations, so the discipline holds across worker migration).
+    let use_ring = |ci: usize| spsc_rings && upstream[ci] == 1;
 
     let epoch = Instant::now();
     let mut tasks = Vec::with_capacity(total_instances);
@@ -747,11 +942,16 @@ pub(crate) fn run_pool(
                         *edge_seed,
                         i,
                     ),
-                    tx: EdgeTx::Tasks(
-                        (0..topology.components[*to].parallelism)
+                    tx: {
+                        let dests = (0..topology.components[*to].parallelism)
                             .map(|j| first_task[*to] + j)
-                            .collect(),
-                    ),
+                            .collect();
+                        if use_ring(*to) {
+                            EdgeTx::TaskRings(dests)
+                        } else {
+                            EdgeTx::Tasks(dests)
+                        }
+                    },
                 })
                 .collect();
             let (kind, mailbox, initial_state) = match &c.kind {
@@ -769,6 +969,11 @@ pub(crate) fn run_pool(
                         }
                         None => u64::MAX,
                     };
+                    let mailbox = if use_ring(ci) {
+                        Mailbox::Ring(SpscRing::new(mailbox_capacity))
+                    } else {
+                        Mailbox::Mutexed { cap: mailbox_capacity, inner: Mutex::default() }
+                    };
                     (
                         TaskKind::Bolt {
                             bolt: factory(i),
@@ -776,7 +981,7 @@ pub(crate) fn run_pool(
                             tick_period_ns: period_ns,
                             next_tick_ns,
                         },
-                        Some(Mailbox { cap: mailbox_capacity, inner: Mutex::default() }),
+                        Some(mailbox),
                         IDLE,
                     )
                 }
@@ -784,23 +989,13 @@ pub(crate) fn run_pool(
             tasks.push(TaskSlot {
                 state: AtomicU8::new(initial_state),
                 mailbox,
-                body: Mutex::new(Some(Box::new(TaskBody {
-                    component: c.name.clone(),
-                    instance: i,
+                body: Mutex::new(Some(Box::new(TaskBody::new(
+                    c.name.clone(),
+                    i,
                     kind,
                     edges,
-                    outbox: VecDeque::new(),
-                    inbox: PacketBatch::default(),
-                    processed: 0,
-                    emitted: 0,
-                    ticks: 0,
-                    activations: 0,
-                    stall_scale: capacities.stall_scale(&c.name, i),
-                    stalled_ns: 0,
-                    latency: LatencyHistogram::new(5),
-                    sampler: StateSampler::default(),
-                    final_state: 0,
-                }))),
+                    capacities.stall_scale(&c.name, i),
+                )))),
             });
         }
     }
@@ -808,7 +1003,9 @@ pub(crate) fn run_pool(
     let shared = Shared {
         tasks,
         sched: Mutex::new(Sched { runq, timers }),
-        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        // Each task id is queued at most once across all queues (the QUEUED
+        // state is exclusive), so `total + 1` slots can never fill.
+        locals: (0..workers).map(|_| WorkStealingDeque::new(total_instances + 1)).collect(),
         idlers: Mutex::new(Vec::new()),
         remaining: AtomicUsize::new(total_instances),
         epoch,

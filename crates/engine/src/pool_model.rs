@@ -16,7 +16,14 @@
 //! 4. **Eof ordering under spill** — a full spout→bolt run over a
 //!    capacity-1 mailbox (every second emission spills) preserves
 //!    per-destination FIFO and the Eof-last protocol, end to end through
-//!    the real `worker_loop` ([`spill_preserves_order_and_eof_protocol`]).
+//!    the real `worker_loop` ([`spill_preserves_order_and_eof_protocol`]),
+//!    and again over a capacity-1 **SPSC ring** edge
+//!    ([`spill_preserves_order_and_eof_protocol_over_ring`]).
+//! 5. **Ring park protocol** — the SPSC ring's announce→re-check sequence
+//!    never loses a backpressure-release wake, and the index protocol is
+//!    FIFO under every producer/consumer interleaving
+//!    ([`model_ring_parked_producer_is_always_observed`],
+//!    [`model_ring_spsc_fifo_across_interleavings`]).
 //!
 //! Detection power is proved, not assumed: `mutation_*` tests re-introduce
 //! the PR 4 stall bug and an unconditional-IDLE variant of the idle
@@ -39,12 +46,12 @@ fn mini_shared(n_tasks: usize, cap: usize) -> Shared {
         tasks: (0..n_tasks)
             .map(|_| TaskSlot {
                 state: AtomicU8::new(IDLE),
-                mailbox: Some(Mailbox { cap, inner: Mutex::default() }),
+                mailbox: Some(Mailbox::Mutexed { cap, inner: Mutex::default() }),
                 body: Mutex::new(None),
             })
             .collect(),
         sched: Mutex::new(Sched { runq: VecDeque::new(), timers: TimerWheel::new() }),
-        locals: vec![Mutex::new(VecDeque::new())],
+        locals: vec![WorkStealingDeque::new(8)],
         idlers: Mutex::new(Vec::new()),
         remaining: AtomicUsize::new(n_tasks),
         epoch: Instant::now(),
@@ -54,10 +61,11 @@ fn mini_shared(n_tasks: usize, cap: usize) -> Shared {
 }
 
 fn mailbox_len(shared: &Shared, tid: usize) -> usize {
-    let Some(mb) = shared.tasks[tid].mailbox.as_ref() else {
-        unreachable!("mini_shared tasks all have mailboxes");
-    };
-    lock(&mb.inner).queue.len()
+    match shared.tasks[tid].mailbox.as_ref() {
+        Some(Mailbox::Mutexed { inner, .. }) => lock(inner).queue.len(),
+        Some(Mailbox::Ring(ring)) => ring.len(),
+        None => unreachable!("mini_shared tasks all have mailboxes"),
+    }
 }
 
 /// Invariant 1: across *every* interleaving of a producer's
@@ -240,31 +248,17 @@ impl Bolt for OrderBolt {
 }
 
 fn blank_body(component: &str, kind: TaskKind, edges: Vec<OutEdge>) -> TaskBody {
-    TaskBody {
-        component: component.to_owned(),
-        instance: 0,
-        kind,
-        edges,
-        outbox: VecDeque::new(),
-        inbox: PacketBatch::default(),
-        processed: 0,
-        emitted: 0,
-        ticks: 0,
-        activations: 0,
-        stall_scale: 1.0,
-        stalled_ns: 0,
-        latency: LatencyHistogram::new(5),
-        sampler: StateSampler::default(),
-        final_state: 0,
-    }
+    TaskBody::new(component.to_owned(), 0, kind, edges, 1.0)
 }
 
 /// Spout (3 tuples) → capacity-1 mailbox → sink bolt: every second emission
 /// spills to the outbox and parks the spout, exercising push_or_park waiter
 /// registration, backpressure-release wakes, and Eof-after-spill delivery.
-fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize) -> Shared {
-    let spout_edges =
-        vec![OutEdge { router: Router::new(&Grouping::Key, 1, 7, 0), tx: EdgeTx::Tasks(vec![1]) }];
+/// With `ring`, the edge is an SPSC ring instead of the mutexed mailbox,
+/// covering the ring legs of the same protocol.
+fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize, ring: bool) -> Shared {
+    let tx = if ring { EdgeTx::TaskRings(vec![1]) } else { EdgeTx::Tasks(vec![1]) };
+    let spout_edges = vec![OutEdge { router: Router::new(&Grouping::Key, 1, 7, 0), tx }];
     let spout_kind = TaskKind::Spout {
         spout: spout_from_iter((1..=3).map(|v| Tuple::new(*b"k", v))),
         exhausted: false,
@@ -275,6 +269,11 @@ fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize) -> Shared {
         tick_period_ns: None,
         next_tick_ns: u64::MAX,
     };
+    let mailbox = if ring {
+        Mailbox::Ring(SpscRing::new(1))
+    } else {
+        Mailbox::Mutexed { cap: 1, inner: Mutex::default() }
+    };
     Shared {
         tasks: vec![
             TaskSlot {
@@ -284,12 +283,12 @@ fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize) -> Shared {
             },
             TaskSlot {
                 state: AtomicU8::new(IDLE),
-                mailbox: Some(Mailbox { cap: 1, inner: Mutex::default() }),
+                mailbox: Some(mailbox),
                 body: Mutex::new(Some(Box::new(blank_body("sink", bolt_kind, Vec::new())))),
             },
         ],
         sched: Mutex::new(Sched { runq: VecDeque::from([0]), timers: TimerWheel::new() }),
-        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        locals: (0..workers).map(|_| WorkStealingDeque::new(8)).collect(),
         idlers: Mutex::new(Vec::new()),
         remaining: AtomicUsize::new(2),
         epoch: Instant::now(),
@@ -305,13 +304,12 @@ fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize) -> Shared {
 /// both tasks reach DONE, and the idle-park shutdown protocol terminates —
 /// under the model, `park_timeout` never times out, so termination *proves*
 /// every needed wake is edge-delivered rather than rescued by the backstop.
-#[test]
-fn spill_preserves_order_and_eof_protocol() {
+fn check_spill_protocol(ring: bool) {
     let report = pkg_model::Builder::new()
         .preemption_bound(2)
-        .check(|| {
+        .check(move || {
             let seen = Arc::new(StdMutex::new(Vec::new()));
-            let shared = Arc::new(spill_fixture(Arc::clone(&seen), 2));
+            let shared = Arc::new(spill_fixture(Arc::clone(&seen), 2, ring));
             let workers: Vec<_> = (0..2)
                 .map(|wid| {
                     let shared = Arc::clone(&shared);
@@ -326,8 +324,11 @@ fn spill_preserves_order_and_eof_protocol() {
                 vec![1, 2, 3],
                 "spill must preserve per-destination FIFO"
             );
+            // ordering: SeqCst — post-join observations; every worker has
+            // terminated, so these are quiescent reads (SC-only model)
             assert_eq!(shared.remaining.load(SeqCst), 0, "all tasks retired");
             for slot in &shared.tasks {
+                // ordering: SeqCst — quiescent post-join read (SC-only model)
                 assert_eq!(slot.state.load(SeqCst), DONE);
             }
             let stats = lock(&shared.stats);
@@ -344,4 +345,85 @@ fn spill_preserves_order_and_eof_protocol() {
         "expected a real interleaving space, got {} schedules",
         report.iterations
     );
+}
+
+#[test]
+fn spill_preserves_order_and_eof_protocol() {
+    check_spill_protocol(false);
+}
+
+/// Invariant 4 over the SPSC-ring edge: identical FIFO/Eof/termination
+/// guarantees when the sink's mailbox is a capacity-1 ring, exercising the
+/// ring spill path in `push_run`/`deliver_outbox`, the announce→re-check
+/// park in `push_or_park`, and the `take_waiters` release wake in
+/// `refill_inbox` — all through the real `worker_loop`.
+#[test]
+fn spill_preserves_order_and_eof_protocol_over_ring() {
+    check_spill_protocol(true);
+}
+
+fn ring_tuple(v: i64) -> Packet {
+    Packet::Tuple(Tuple::new(*b"k", v))
+}
+
+fn ring_value(p: Packet) -> i64 {
+    match p {
+        Packet::Tuple(t) => t.value,
+        Packet::Eof => -1,
+    }
+}
+
+/// Invariant 5a — the ring's no-lost-wake theorem, exhaustively: whenever
+/// the producer parks (`push_or_park` returns `Err`), the consumer's
+/// post-pop `take_waiters` is guaranteed to return it. SC forces a total
+/// order in which "announce, then re-check still full" precedes the
+/// consumer's `head` publication, which precedes its sleeper check.
+#[test]
+fn model_ring_parked_producer_is_always_observed() {
+    pkg_model::Builder::new().preemption_bound(2).model(|| {
+        let ring = Arc::new(SpscRing::new(1));
+        assert!(ring.try_push(Packet::Eof).is_ok(), "pre-fill a capacity-1 ring");
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            pkg_model::thread::spawn(move || {
+                assert!(ring.pop().is_some(), "pre-filled ring pops");
+                ring.take_waiters()
+            })
+        };
+        let parked = ring.push_or_park(Packet::Eof, 7).is_err();
+        let woken = consumer.join();
+        if parked {
+            assert_eq!(woken, vec![7], "lost wake: parked producer missed by the consumer");
+        }
+    });
+}
+
+/// Invariant 5b — SPSC FIFO under every interleaving: a concurrent pop
+/// observes the producer's two pushes in order, never value 2 before
+/// value 1, and never a duplicated or dropped slot across the race.
+#[test]
+fn model_ring_spsc_fifo_across_interleavings() {
+    pkg_model::Builder::new().preemption_bound(2).model(|| {
+        let ring = Arc::new(SpscRing::new(4));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            pkg_model::thread::spawn(move || {
+                assert!(ring.try_push(ring_tuple(1)).is_ok());
+                assert!(ring.try_push(ring_tuple(2)).is_ok());
+            })
+        };
+        // Exactly one pop races the pushes (an unbounded drain loop would
+        // diverge under the DFS scheduler); the rest drains after join.
+        let first = ring.pop().map(ring_value);
+        producer.join();
+        let mut rest = Vec::new();
+        while let Some(p) = ring.pop() {
+            rest.push(ring_value(p));
+        }
+        match first {
+            None => assert_eq!(rest, vec![1, 2]),
+            Some(1) => assert_eq!(rest, vec![2]),
+            other => panic!("consumer observed out-of-order first value {other:?}"),
+        }
+    });
 }

@@ -126,6 +126,11 @@ pub struct RuntimeOptions {
     /// Per-instance capacity weights (heterogeneous hardware emulation);
     /// both executors apply them by scaling emulated service time.
     pub capacities: InstanceCapacities,
+    /// Pool executor only: give destinations fed by exactly one upstream
+    /// sender instance a lock-free SPSC ring mailbox instead of a mutexed
+    /// queue (on by default; `false` forces every mailbox onto the mutexed
+    /// path, which the parity suite uses as a differential oracle).
+    pub spsc_rings: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -135,6 +140,7 @@ impl Default for RuntimeOptions {
             seed: 42,
             executor: ExecutorMode::from_env().unwrap_or(ExecutorMode::ThreadPerInstance),
             capacities: InstanceCapacities::uniform(),
+            spsc_rings: true,
         }
     }
 }
@@ -205,6 +211,7 @@ impl Runtime {
                 },
                 if batch == 0 { crate::pool::DEFAULT_BATCH } else { batch },
                 &self.opts.capacities,
+                self.opts.spsc_rings,
             ),
         }
     }
@@ -392,7 +399,7 @@ mod tests {
 
         #[derive(Default)]
         struct CollectBolt {
-            seen: std::collections::HashMap<Box<[u8]>, i64>,
+            seen: std::collections::HashMap<crate::tuple::TupleKey, i64>,
         }
         impl Bolt for CollectBolt {
             fn execute(&mut self, t: Tuple, _out: &mut Emitter<'_>) {
@@ -811,6 +818,7 @@ mod tests {
                 seed: 3,
                 executor,
                 capacities: caps.clone(),
+                ..RuntimeOptions::default()
             })
             .run(build());
             assert_eq!(stats.processed("stall"), 40);
@@ -838,6 +846,7 @@ mod tests {
             seed: 9,
             executor: ExecutorMode::Pool { workers: 2, batch: 4 },
             capacities: InstanceCapacities::uniform().with("stall", &[0.5]),
+            ..RuntimeOptions::default()
         })
         .run(t);
         assert_eq!(stats.processed("stall"), 10);

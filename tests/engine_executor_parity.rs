@@ -31,6 +31,32 @@ fn opts(executor: ExecutorMode, seed: u64, channel_capacity: usize) -> RuntimeOp
     RuntimeOptions { channel_capacity, seed, executor, ..RuntimeOptions::default() }
 }
 
+/// The SPSC-ring leg: single-sender edges are exactly where the pool swaps
+/// its mutexed mailboxes for rings, so these runs compare the thread oracle
+/// against BOTH pool transports — rings enabled (the default) and forced
+/// off (`spsc_rings: false`), which must not change a single observable.
+const RING_MODES: [(&str, ExecutorMode, bool); 4] = [
+    ("threads", ExecutorMode::ThreadPerInstance, true),
+    ("pool-ring", ExecutorMode::Pool { workers: 0, batch: 0 }, true),
+    ("pool-mutex", ExecutorMode::Pool { workers: 0, batch: 0 }, false),
+    // One worker + tiny quantum again, now over rings: maximal parking.
+    ("pool-w1-b8-ring", ExecutorMode::Pool { workers: 1, batch: 8 }, true),
+];
+
+fn ring_opts(
+    (executor, rings): (ExecutorMode, bool),
+    seed: u64,
+    channel_capacity: usize,
+) -> RuntimeOptions {
+    RuntimeOptions {
+        channel_capacity,
+        seed,
+        executor,
+        spsc_rings: rings,
+        ..RuntimeOptions::default()
+    }
+}
+
 /// Deterministic per-instance observables of one run.
 #[derive(Debug, PartialEq)]
 struct Observed {
@@ -83,6 +109,89 @@ fn wordcount_loads_identical_across_executors() {
                     assert_eq!(&got, want, "{label}/{} diverged from oracle", variant.label())
                 }
             }
+        }
+    }
+}
+
+/// Single-source word count over every variant: the source → counter edge
+/// has exactly one upstream sender, so under the default pool options each
+/// counter's mailbox is an SPSC ring. Thread oracle, ring pool, and
+/// mutex-forced pool must agree on every per-instance observable.
+#[test]
+fn single_sender_wordcount_identical_across_ring_and_mutex_pools() {
+    for variant in [
+        WordCountVariant::KeyGrouping,
+        WordCountVariant::ShuffleGrouping,
+        WordCountVariant::PartialKeyGrouping,
+    ] {
+        let cfg = WordCountConfig {
+            variant,
+            sources: 1,
+            counters: 7,
+            messages_per_source: 15_000,
+            vocabulary: 1_000,
+            aggregation_period: None,
+            seed: 41,
+            ..WordCountConfig::default()
+        };
+        let mut baseline: Option<(Observed, Observed)> = None;
+        for (label, mode, rings) in RING_MODES {
+            let (topo, _, _, _) = wordcount_topology(&cfg);
+            // A small capacity forces ring-full spills and producer parks.
+            let stats = Runtime::with_options(ring_opts((mode, rings), 7, 32)).run(topo);
+            assert_eq!(
+                stats.processed("counter"),
+                15_000,
+                "{label}/{} message conservation",
+                variant.label()
+            );
+            let got = (observe(&stats, "counter"), observe(&stats, "aggregator"));
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => {
+                    assert_eq!(&got, want, "{label}/{} diverged from oracle", variant.label())
+                }
+            }
+        }
+    }
+}
+
+/// Single-source diamond: the spout edges (one sender) ride rings while the
+/// join's fan-in (five senders) stays mutexed — the mixed-transport
+/// topology must still match the thread oracle and the mutex-only pool
+/// exactly, Eof counting included.
+#[test]
+fn single_sender_diamond_identical_across_ring_and_mutex_pools() {
+    struct Forward;
+    impl Bolt for Forward {
+        fn execute(&mut self, t: Tuple, out: &mut Emitter<'_>) {
+            out.emit(t);
+        }
+    }
+    let build = || {
+        let mut topo = Topology::new();
+        let s = topo.add_spout("src", 1, |_| {
+            spout_from_iter(
+                (0..6_000u64).map(|i| Tuple::new(format!("k{}", i % 31).into_bytes(), 1)),
+            )
+        });
+        let a = topo.add_bolt("a", 2, |_| Box::new(Forward)).input(s, Grouping::Shuffle).id();
+        let b = topo.add_bolt("b", 3, |_| Box::new(Forward)).input(s, Grouping::Key).id();
+        let _join = topo
+            .add_bolt("join", 4, |_| Box::new(CountingBolt::default()))
+            .input(a, Grouping::Key)
+            .input(b, Grouping::Key);
+        topo
+    };
+    let mut baseline: Option<Vec<Observed>> = None;
+    for (label, mode, rings) in RING_MODES {
+        let stats = Runtime::with_options(ring_opts((mode, rings), 23, 64)).run(build());
+        let got: Vec<Observed> =
+            ["src", "a", "b", "join"].iter().map(|c| observe(&stats, c)).collect();
+        assert_eq!(got[3].processed, 12_000, "{label} join sees both branches");
+        match &baseline {
+            None => baseline = Some(got),
+            Some(want) => assert_eq!(&got, want, "{label} diverged from oracle"),
         }
     }
 }

@@ -1,0 +1,329 @@
+//! A bounded Chase–Lev work-stealing deque over `usize` items, mirroring
+//! the `crossbeam_deque::{Worker, Stealer}` split collapsed into one type
+//! (this workspace shares it behind `Arc`, so owner/stealer roles are a
+//! calling convention, not a type split).
+//!
+//! The owner pushes and pops at `bottom` (LIFO, cache-hot); stealers race a
+//! CAS on `top` (FIFO, oldest first). The implementation is `unsafe`-free:
+//! slots are plain `AtomicUsize`s, and the **fullness check** (`bottom −
+//! top < capacity` before every write) guarantees a slot is only ever
+//! overwritten after `top` has advanced past it — so a stealer holding a
+//! stale `top` always loses its CAS and never publishes a torn or recycled
+//! value. The cost of that guarantee is a fixed capacity, which the caller
+//! sizes to the maximum number of distinct items ever live at once (the
+//! pool executor queues each task id at most once, so `n_tasks + 1` slots
+//! suffice).
+//!
+//! `bottom`/`top` are monotone counters indexed modulo the power-of-two
+//! slot count; at one push per nanosecond a 64-bit counter wraps after ~584
+//! years, so wraparound is ignored. Atomics resolve through
+//! [`crate::atomic`]: `std` in normal builds, the deterministic model
+//! checker's under the `pkg_model` feature (every ordering below is
+//! `SeqCst` — the vendored checker explores sequentially consistent
+//! interleavings only, and weaker orderings would claim coverage the model
+//! cannot deliver).
+
+use crate::atomic::{AtomicUsize, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race (another stealer or the owner took the item); retrying
+    /// immediately is allowed but the caller may prefer the next victim.
+    Retry,
+    /// Took the oldest item.
+    Success(usize),
+}
+
+/// A fixed-capacity work-stealing deque of `usize` items.
+///
+/// Contract: exactly one thread at a time acts as the *owner* (calls
+/// [`WorkStealingDeque::push`] / [`WorkStealingDeque::pop`]); any number of
+/// threads may concurrently call [`WorkStealingDeque::steal`]. The pool
+/// executor upholds this by construction — queue *w* is only pushed/popped
+/// from worker *w*'s loop.
+pub struct WorkStealingDeque {
+    /// Owner's end: next free slot. Written by the owner only.
+    bottom: AtomicUsize,
+    /// Stealers' end: oldest live slot. Advanced by CAS (stealers) and by
+    /// the owner when it takes the last item.
+    top: AtomicUsize,
+    slots: Box<[AtomicUsize]>,
+    mask: usize,
+}
+
+impl WorkStealingDeque {
+    /// A deque holding at most `cap ≥ 1` items (rounded up to a power of
+    /// two internally).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "deque capacity must be positive");
+        let slots = cap.next_power_of_two();
+        Self {
+            bottom: AtomicUsize::new(0),
+            top: AtomicUsize::new(0),
+            slots: (0..slots).map(|_| AtomicUsize::new(0)).collect(),
+            mask: slots - 1,
+        }
+    }
+
+    /// Owner: push `value` at the bottom. Returns `false` when full (the
+    /// caller overflows to its fallback queue; with capacity sized to the
+    /// live-item bound this never fires).
+    pub fn push(&self, value: usize) -> bool {
+        // ordering: SeqCst — bottom is owner-written; this load pairs with
+        // our own last store (SC-only model, see module doc)
+        let b = self.bottom.load(Ordering::SeqCst);
+        // ordering: SeqCst — fullness check against stealers' top advances;
+        // `b - t < len` is what makes slot reuse safe (SC-only model)
+        let t = self.top.load(Ordering::SeqCst);
+        if b.wrapping_sub(t) >= self.slots.len() {
+            return false;
+        }
+        // ordering: SeqCst — slot write precedes the bottom publication in
+        // the SC total order, so a stealer that sees the new bottom also
+        // sees the value (SC-only model)
+        self.slots[b & self.mask].store(value, Ordering::SeqCst);
+        // ordering: SeqCst — publish the pushed item to stealers (SC-only
+        // model)
+        self.bottom.store(b.wrapping_add(1), Ordering::SeqCst);
+        true
+    }
+
+    /// Owner: pop the most recently pushed item.
+    pub fn pop(&self) -> Option<usize> {
+        // ordering: SeqCst — owner-written index (SC-only model)
+        let b = self.bottom.load(Ordering::SeqCst);
+        // ordering: SeqCst — emptiness pre-check (SC-only model)
+        let t = self.top.load(Ordering::SeqCst);
+        if b == t {
+            return None;
+        }
+        let b1 = b.wrapping_sub(1);
+        // ordering: SeqCst — reserve the bottom slot *before* re-reading
+        // top: stealers racing for it must observe the shrunken deque
+        // (SC-only model)
+        self.bottom.store(b1, Ordering::SeqCst);
+        // ordering: SeqCst — re-read top after the reservation (SC-only
+        // model)
+        let t = self.top.load(Ordering::SeqCst);
+        if t.wrapping_sub(b1) != 0 && t.wrapping_sub(b1) <= self.slots.len() {
+            // t advanced past b1: a stealer took the last item first.
+            // Restore bottom to the (possibly advanced) top.
+            // ordering: SeqCst — un-reserve; deque is empty (SC-only model)
+            self.bottom.store(t, Ordering::SeqCst);
+            return None;
+        }
+        // ordering: SeqCst — the fullness check guarantees this slot still
+        // holds our value: it cannot be overwritten until top passes b1
+        // (SC-only model)
+        let value = self.slots[b1 & self.mask].load(Ordering::SeqCst);
+        if t == b1 {
+            // Last item: race the stealers for it with the same CAS they
+            // use.
+            let won = self
+                .top
+                // ordering: SeqCst — winner takes the last item; on loss a
+                // stealer already took it (SC-only model)
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            // ordering: SeqCst — empty either way: bottom rejoins top
+            // (SC-only model)
+            self.bottom.store(b1.wrapping_add(1), Ordering::SeqCst);
+            return won.then_some(value);
+        }
+        Some(value)
+    }
+
+    /// Stealer: take the oldest item.
+    pub fn steal(&self) -> Steal {
+        // ordering: SeqCst — candidate slot; the CAS below validates it
+        // (SC-only model)
+        let t = self.top.load(Ordering::SeqCst);
+        // ordering: SeqCst — read bottom *after* top: if items appear
+        // in-between we merely report Retry/Empty conservatively (SC-only
+        // model)
+        let b = self.bottom.load(Ordering::SeqCst);
+        if b.wrapping_sub(t) == 0 || b.wrapping_sub(t) > self.slots.len() {
+            // Empty, or the owner's in-flight pop reservation (b = t − 1).
+            return Steal::Empty;
+        }
+        // ordering: SeqCst — speculative read; only published if the CAS
+        // proves the slot was still live (fullness check: it cannot have
+        // been overwritten while top ≤ its index) (SC-only model)
+        let value = self.slots[t & self.mask].load(Ordering::SeqCst);
+        // ordering: SeqCst — claims the slot against other stealers and the
+        // owner's last-item pop (SC-only model)
+        match self.top.compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => Steal::Success(value),
+            Err(_) => Steal::Retry,
+        }
+    }
+
+    /// Items currently queued (exact from the owner, a racy estimate from
+    /// anywhere else).
+    pub fn len(&self) -> usize {
+        // ordering: SeqCst — paired snapshot reads (SC-only model)
+        let b = self.bottom.load(Ordering::SeqCst);
+        // ordering: SeqCst — see above (SC-only model)
+        let t = self.top.load(Ordering::SeqCst);
+        // Saturate: a concurrent owner pop can transiently leave b = t − 1.
+        if b.wrapping_sub(t) > self.slots.len() {
+            0
+        } else {
+            b.wrapping_sub(t)
+        }
+    }
+
+    /// Whether the deque is (observably) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_and_stealers_are_fifo() {
+        let d = WorkStealingDeque::new(8);
+        assert!(d.is_empty());
+        for v in 1..=4 {
+            assert!(d.push(v));
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.pop(), Some(4), "owner pops the newest");
+        assert_eq!(d.steal(), Steal::Success(1), "stealers take the oldest");
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), Steal::Success(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn full_deque_rejects_and_drains_across_wraparound() {
+        let d = WorkStealingDeque::new(3); // 4 slots internally
+        let mut next_in = 0usize;
+        let mut seen = Vec::new();
+        for _ in 0..50 {
+            while d.push(next_in) {
+                next_in += 1;
+            }
+            while let Some(v) = d.pop() {
+                seen.push(v);
+            }
+        }
+        assert_eq!(next_in, seen.len());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..next_in).collect::<Vec<_>>(), "every item exactly once");
+    }
+
+    #[test]
+    fn concurrent_stealers_take_each_item_exactly_once() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        const ITEMS: usize = 10_000;
+        let d = std::sync::Arc::new(WorkStealingDeque::new(ITEMS + 1));
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let d = std::sync::Arc::clone(&d);
+            let done = std::sync::Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                // ordering: Relaxed — test-only termination flag
+                while !done.load(Ordering::Relaxed) || !d.is_empty() {
+                    if let Steal::Success(v) = d.steal() {
+                        got.push(v);
+                    }
+                }
+                got
+            }));
+        }
+        let mut owner_got = Vec::new();
+        for v in 0..ITEMS {
+            assert!(d.push(v));
+            if v % 3 == 0 {
+                if let Some(x) = d.pop() {
+                    owner_got.push(x);
+                }
+            }
+        }
+        while let Some(x) = d.pop() {
+            owner_got.push(x);
+        }
+        // ordering: Relaxed — test-only termination flag
+        done.store(true, Ordering::Relaxed);
+        let mut all = owner_got;
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>(), "no loss, no duplication");
+    }
+
+    /// Exhaustive interleavings of owner pop vs. one stealer over a
+    /// two-item deque: both items surface exactly once, split any way.
+    #[cfg(feature = "pkg_model")]
+    #[test]
+    fn model_owner_pop_races_stealer_without_loss_or_duplication() {
+        pkg_model::model(|| {
+            let d = std::sync::Arc::new(WorkStealingDeque::new(4));
+            assert!(d.push(10));
+            assert!(d.push(20));
+            let d2 = std::sync::Arc::clone(&d);
+            let thief = pkg_model::thread::spawn(move || match d2.steal() {
+                Steal::Success(v) => Some(v),
+                Steal::Empty | Steal::Retry => None,
+            });
+            let mut mine = Vec::new();
+            while let Some(v) = d.pop() {
+                mine.push(v);
+            }
+            let stolen = thief.join();
+            let mut all = mine;
+            all.extend(stolen);
+            all.sort_unstable();
+            assert_eq!(all, vec![10, 20], "both items, exactly once");
+        });
+    }
+
+    /// Two stealers race for a single item: exactly one succeeds, the other
+    /// observes Empty or Retry — never a duplicate.
+    #[cfg(feature = "pkg_model")]
+    #[test]
+    fn model_racing_stealers_never_duplicate_the_last_item() {
+        pkg_model::model(|| {
+            let d = std::sync::Arc::new(WorkStealingDeque::new(2));
+            assert!(d.push(7));
+            let a = std::sync::Arc::clone(&d);
+            let b = std::sync::Arc::clone(&d);
+            let ta = pkg_model::thread::spawn(move || a.steal());
+            let tb = pkg_model::thread::spawn(move || b.steal());
+            let (ra, rb) = (ta.join(), tb.join());
+            let wins = [ra, rb].iter().filter(|s| matches!(s, Steal::Success(7))).count();
+            assert_eq!(wins, 1, "exactly one stealer wins: {ra:?} vs {rb:?}");
+        });
+    }
+
+    /// Owner pushes concurrently with a stealer: the stealer may see the
+    /// item or miss it, but a successful steal always returns the pushed
+    /// value (no torn/recycled slot reads).
+    #[cfg(feature = "pkg_model")]
+    #[test]
+    fn model_push_concurrent_with_steal_is_linearizable() {
+        pkg_model::model(|| {
+            let d = std::sync::Arc::new(WorkStealingDeque::new(2));
+            let d2 = std::sync::Arc::clone(&d);
+            let thief = pkg_model::thread::spawn(move || d2.steal());
+            assert!(d.push(42));
+            match thief.join() {
+                Steal::Success(v) => assert_eq!(v, 42),
+                Steal::Empty | Steal::Retry => {
+                    assert_eq!(d.pop(), Some(42), "missed steal leaves the item")
+                }
+            }
+        });
+    }
+}

@@ -1,10 +1,25 @@
 //! Offline shim for the subset of the `crossbeam` API this workspace uses:
-//! `channel::{bounded, unbounded}` and `thread::scope`. Channels delegate to
-//! `std::sync::mpsc` (multi-producer, single-consumer — every receiver in
-//! this workspace is owned by exactly one executor thread, so the missing
-//! multi-consumer capability is never exercised).
+//! `channel::{bounded, unbounded}`, `thread::scope`, `sync::{Parker,
+//! Unparker}`, and a bounded Chase–Lev work-stealing [`deque`]. Channels
+//! delegate to `std::sync::mpsc` (multi-producer, single-consumer — every
+//! receiver in this workspace is owned by exactly one executor thread, so
+//! the missing multi-consumer capability is never exercised).
 
 #![forbid(unsafe_code)]
+
+pub mod deque;
+
+/// Atomics facade for [`deque`], mirroring the [`sync`] Parker facade:
+/// normal builds resolve to `std::sync::atomic`; under the `pkg_model`
+/// feature the same names resolve to the deterministic model checker's
+/// atomics, whose every access is a scheduling point.
+pub(crate) mod atomic {
+    #[cfg(not(feature = "pkg_model"))]
+    pub(crate) use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[cfg(feature = "pkg_model")]
+    pub(crate) use pkg_model::sync::atomic::{AtomicUsize, Ordering};
+}
 
 pub mod channel {
     use std::sync::mpsc;
