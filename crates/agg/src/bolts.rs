@@ -30,7 +30,7 @@ use std::time::Duration;
 
 use pkg_engine::bolt::{Bolt, Emitter};
 use pkg_engine::tuple::{Tuple, TupleKey};
-use pkg_hash::FxHashMap;
+use pkg_hash::{FxHashMap, FxHashSet};
 
 use crate::partial::{canonical_merge, PartialAgg};
 use crate::window::TumblingWindow;
@@ -146,6 +146,14 @@ impl<A: PartialAgg> WindowedWorkerBolt<A> {
 
 impl<A: PartialAgg> Bolt for WindowedWorkerBolt<A> {
     fn execute(&mut self, tuple: Tuple, out: &mut Emitter<'_>) {
+        if pkg_ingress::hedge::is_tagged(&tuple.payload) {
+            // Hedged head-key copy (`pkg_ingress::hedge`): relay it to the
+            // aggregation stage untouched — and without charging service
+            // time, which is the point of hedging past a stalled sibling.
+            // The aggregator counts exactly one of the two copies.
+            out.emit(tuple);
+            return;
+        }
         self.delay.charge(out);
         let key_id = tuple.key_id();
         let (key, value) = match self.scope {
@@ -217,6 +225,9 @@ pub struct AggregatorBolt<A: PartialAgg> {
     /// Payloads that failed to decode (wiring bugs; surfaced via
     /// `debug_assert` in debug builds, counted and skipped in release).
     decode_failures: u64,
+    /// Hedge ids already observed; the second copy of a hedged tuple is
+    /// dropped and counted in `pkg_ingress::hedge::audit`.
+    hedge_seen: FxHashSet<u64>,
 }
 
 impl<A: PartialAgg> Default for AggregatorBolt<A> {
@@ -238,7 +249,12 @@ impl<A: PartialAgg> AggregatorBolt<A> {
     /// streams over sketches should use [`Self::windowed`] (emit-and-clear
     /// per tick) instead.
     pub fn new() -> Self {
-        Self { slots: FxHashMap::default(), windowed: false, decode_failures: 0 }
+        Self {
+            slots: FxHashMap::default(),
+            windowed: false,
+            decode_failures: 0,
+            hedge_seen: FxHashSet::default(),
+        }
     }
 
     /// Builder: also emit-and-clear on every tick (per-window aggregates).
@@ -266,6 +282,17 @@ impl<A: PartialAgg> AggregatorBolt<A> {
 impl<A: PartialAgg> Bolt for AggregatorBolt<A> {
     fn execute(&mut self, tuple: Tuple, _out: &mut Emitter<'_>) {
         let key_id = tuple.key_id();
+        if let Some(id) = pkg_ingress::hedge::decode_tag(&tuple.payload) {
+            if self.hedge_seen.insert(id) {
+                // First copy to arrive wins: count it as one raw
+                // observation of its key.
+                let slot = self.slots.entry(tuple.key).or_insert_with(Slot::new);
+                slot.local.get_or_insert_with(A::identity).insert(key_id, tuple.value);
+            } else {
+                pkg_ingress::hedge::audit::record_duplicate();
+            }
+            return;
+        }
         let slot = self.slots.entry(tuple.key).or_insert_with(Slot::new);
         if tuple.payload.is_empty() {
             // A raw observation (single-phase inputs, e.g. running counters

@@ -46,6 +46,7 @@ pub mod bolts;
 pub mod elastic;
 pub mod histogram_sketch;
 pub mod partial;
+pub mod shed;
 pub mod spacesaving;
 pub mod window;
 
@@ -57,5 +58,6 @@ pub use bolts::{
 pub use elastic::ElasticWorkerBolt;
 pub use histogram_sketch::BhHistogram;
 pub use partial::{canonical_merge, PartialAgg};
+pub use shed::SketchDegrade;
 pub use spacesaving::SpaceSaving;
 pub use window::{Pane, SlidingWindow, TumblingWindow};

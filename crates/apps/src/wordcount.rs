@@ -282,17 +282,16 @@ pub fn wordcount_topology(cfg: &WordCountConfig) -> (Topology, NodeId, NodeId, N
     // realistic vocabularies the whole lexicon is precomputed (10k words
     // ≈ 230 KiB) so the hot loop is a table lookup. Streams are
     // byte-identical either way.
-    let shared_words: Option<Arc<Lexicon>> = (cfg.vocabulary <= 1 << 16)
-        .then(|| {
-            Arc::new(
-                (0..cfg.vocabulary)
-                    .map(|r| {
-                        let (word, len) = word_bytes_for_rank(r);
-                        (word, len as u8)
-                    })
-                    .collect(),
-            )
-        });
+    let shared_words: Option<Arc<Lexicon>> = (cfg.vocabulary <= 1 << 16).then(|| {
+        Arc::new(
+            (0..cfg.vocabulary)
+                .map(|r| {
+                    let (word, len) = word_bytes_for_rank(r);
+                    (word, len as u8)
+                })
+                .collect(),
+        )
+    });
     let source = topo.add_spout("source", cfg.sources, move |i| {
         let zipf = Arc::clone(&shared_zipf);
         let mut rng = SmallRng::seed_from_u64(cfg2.seed ^ (i as u64).wrapping_mul(0x9e37));

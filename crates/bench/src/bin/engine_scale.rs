@@ -41,6 +41,8 @@ struct Measurement {
     counter_tput: f64,
     activations: u64,
     loads: Vec<u64>,
+    /// Counter-stage p99 tuple latency (birth → execute), nanoseconds.
+    p99_ns: u64,
 }
 
 fn config_for(p: &Point, total_messages: u64) -> WordCountConfig {
@@ -99,6 +101,7 @@ fn run_point(cfg: &WordCountConfig, mode: ExecutorMode) -> Result<Measurement, S
         counter_tput: total as f64 / wall_s,
         activations: stats.activations("counter"),
         loads: stats.loads("counter"),
+        p99_ns: stats.latency_percentiles("counter")[1],
     })
 }
 
@@ -130,9 +133,18 @@ fn main() {
         if smoke { " (smoke)" } else { "" },
     );
     let mut table = TextTable::new();
-    table.row(["instances", "mode", "messages", "wall_s", "counter_tput_msg_s", "activations"]);
-    let mut tsv =
-        String::from("instances\tmode\tmessages\twall_s\tcounter_tput_msg_s\tactivations\n");
+    table.row([
+        "instances",
+        "mode",
+        "messages",
+        "wall_s",
+        "counter_tput_msg_s",
+        "activations",
+        "p99_ms",
+    ]);
+    let mut tsv = String::from(
+        "instances\tmode\tmessages\twall_s\tcounter_tput_msg_s\tactivations\tp99_ms\n",
+    );
 
     let mut ok = true;
     let mut results: Vec<(usize, &'static str, Measurement)> = Vec::new();
@@ -149,11 +161,18 @@ fn main() {
                         format!("{:.3}", m.wall_s),
                         format!("{:.0}", m.counter_tput),
                         m.activations.to_string(),
+                        format!("{:.3}", m.p99_ns as f64 / 1e6),
                     ]);
                     let _ = writeln!(
                         tsv,
-                        "{}\t{}\t{}\t{:.4}\t{:.0}\t{}",
-                        p.instances, label, p.messages, m.wall_s, m.counter_tput, m.activations
+                        "{}\t{}\t{}\t{:.4}\t{:.0}\t{}\t{:.3}",
+                        p.instances,
+                        label,
+                        p.messages,
+                        m.wall_s,
+                        m.counter_tput,
+                        m.activations,
+                        m.p99_ns as f64 / 1e6,
                     );
                     results.push((p.instances, label, m));
                 }
@@ -280,8 +299,13 @@ fn baseline_pool_tputs(smoke: bool) -> Vec<(usize, f64)> {
             continue;
         }
         let instances = frag.split(',').next().and_then(|s| s.trim().parse::<usize>().ok());
-        let tput =
-            frag.split("\"tuples_per_sec\":").nth(1).and_then(|s| s.trim().parse::<f64>().ok());
+        // Stop at the next comma so fields appended after `tuples_per_sec`
+        // in future schema revisions cannot break the number parse.
+        let tput = frag
+            .split("\"tuples_per_sec\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse::<f64>().ok());
         if let (Some(instances), Some(tput)) = (instances, tput) {
             points.push((instances, tput));
         }
@@ -303,10 +327,14 @@ fn append_trajectory(smoke: bool, results: &[(usize, &'static str, Measurement)]
         if i > 0 {
             rec.push_str(", ");
         }
+        // `p99_ns` rides in each point record; the tolerant string-scan
+        // readers (above) ignore fields they do not ask for, so records
+        // from before this field and after it coexist in one log.
         let _ = write!(
             rec,
-            "{{\"instances\": {instances}, \"mode\": \"{label}\", \"tuples_per_sec\": {:.0}}}",
-            m.counter_tput
+            "{{\"instances\": {instances}, \"mode\": \"{label}\", \"tuples_per_sec\": {:.0}, \
+             \"p99_ns\": {}}}",
+            m.counter_tput, m.p99_ns
         );
     }
     rec.push_str("]}");

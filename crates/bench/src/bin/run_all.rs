@@ -7,7 +7,7 @@
 
 use std::process::Command;
 
-const DRIVERS: [&str; 15] = [
+const DRIVERS: [&str; 16] = [
     "table1",
     "table2",
     "fig2",
@@ -18,6 +18,7 @@ const DRIVERS: [&str; 15] = [
     "fig5_overhead",
     "fig_dchoices",
     "fig_hetero",
+    "fig_overload",
     "theory_bounds",
     "ablation_d",
     "ablation_hot",

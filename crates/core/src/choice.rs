@@ -173,6 +173,14 @@ impl AdaptiveChoices {
         &self.tracker
     }
 
+    /// Whether the *next* message of `key` routes as a head key. Uses the
+    /// same prediction as [`Partitioner::route`], so it must be consulted
+    /// *before* routing that message (`route` observes the key and can flip
+    /// the prediction for the one after).
+    pub fn is_head(&self, key: u64) -> bool {
+        self.next_head_d(key).is_some()
+    }
+
     /// Number of workers the scheme currently routes over: the live count
     /// under a membership subset, `n` otherwise.
     #[inline]

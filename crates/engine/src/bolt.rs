@@ -3,6 +3,8 @@
 use std::time::Duration;
 
 use crate::grouping::{Router, Target};
+use crate::ingress::{DepthGauge, HedgeState};
+use crate::sync::Arc;
 use crate::tuple::{Packet, Tuple};
 use crossbeam::channel::Sender;
 use pkg_hash::FxHashMap;
@@ -66,6 +68,21 @@ pub struct Emitter<'a> {
 pub(crate) struct OutEdge {
     pub(crate) router: Router,
     pub(crate) tx: EdgeTx,
+    /// Depth gauges of the downstream instances, parallel to the `Channels`
+    /// senders (thread-per-instance executor). Empty under the pool, which
+    /// reads its mailbox lengths directly.
+    pub(crate) depths: Vec<Arc<DepthGauge>>,
+    /// Hedged-dispatch state; `Some` only on spout out-edges when the
+    /// ingress layer enables hedging.
+    pub(crate) hedge: Option<HedgeState>,
+}
+
+impl OutEdge {
+    /// Deepest downstream gauge on this edge (thread-per-instance depth
+    /// signal; 0 under the pool, whose executors probe mailboxes instead).
+    pub(crate) fn max_gauge_depth(&self) -> usize {
+        self.depths.iter().map(|g| g.load()).max().unwrap_or(0)
+    }
 }
 
 /// Where an edge's packets physically go — the executor-specific half of an
@@ -111,10 +128,20 @@ pub(crate) enum Sink<'a> {
 }
 
 impl Sink<'_> {
-    /// Deliver one routed packet to `dest` along `tx`.
-    fn deliver(&mut self, tx: &EdgeTx, dest: usize, packet: Packet) {
+    /// Deliver one routed packet to `dest` along `tx`. `depths` are the
+    /// edge's downstream gauges (empty under the pool): tuple deliveries
+    /// increment the destination's gauge *before* the send, so the owning
+    /// bolt's decrement on receipt can never underflow it.
+    fn deliver(&mut self, tx: &EdgeTx, depths: &[Arc<DepthGauge>], dest: usize, packet: Packet) {
         match (tx, self) {
             (EdgeTx::Channels(txs), Sink::Blocking) => {
+                // Only tuples are gauged: the receiving bolt decrements per
+                // `Packet::Tuple`, and Eof never passes through `deliver`.
+                if matches!(packet, Packet::Tuple(_)) {
+                    if let Some(gauge) = depths.get(dest) {
+                        gauge.inc();
+                    }
+                }
                 // A send fails only if the receiver hung up, which the
                 // shutdown protocol makes impossible before our Eof.
                 if txs[dest].send(packet).is_err() {
@@ -164,27 +191,65 @@ impl Emitter<'_> {
 
     /// Route and deliver one owned tuple on one edge.
     fn emit_on(edge: &mut OutEdge, sink: &mut Sink<'_>, now_ns: u64, key_id: u64, tuple: Tuple) {
+        let OutEdge { router, tx, depths, hedge } = edge;
         // Elastic edges: if this tuple crosses a membership threshold,
         // announce the new epoch in-band to every downstream instance
         // *before* routing it under the new live set. Markers are control
         // traffic — they bypass the router and do not count as emissions.
-        while let Some(epoch) = edge.router.advance_epoch() {
+        while let Some(epoch) = router.advance_epoch() {
             let marker = crate::elastic::epoch_marker(epoch, now_ns);
-            for w in 0..edge.tx.fanout() {
-                sink.deliver(&edge.tx, w, Packet::Tuple(marker.clone()));
+            for w in 0..tx.fanout() {
+                sink.deliver(tx, depths, w, Packet::Tuple(marker.clone()));
             }
         }
-        match edge.router.route(key_id) {
-            Target::One(w) => sink.deliver(&edge.tx, w, Packet::Tuple(tuple)),
+        // Hedging applies to head keys only, and their candidate set must
+        // be read *before* `route` (which observes the key and can flip the
+        // head prediction for the next message). Payload-carrying tuples
+        // are never hedged — the hedge tag rides in the payload.
+        let hedge_cands = match hedge {
+            Some(_) if tuple.payload.is_empty() => router.head_candidates(key_id),
+            _ => None,
+        };
+        match router.route(key_id) {
+            Target::One(w) => {
+                if let (Some(state), Some(cands)) = (hedge.as_mut(), hedge_cands) {
+                    if Self::dest_depth(tx, depths, sink, w) > state.budget {
+                        if let Some(&alt) = cands.iter().find(|&&c| c != w) {
+                            // The chosen instance is over its latency
+                            // budget: issue the tuple to both it and the
+                            // next candidate, tagged so the aggregation
+                            // stage drops whichever copy arrives second.
+                            let mut tagged = tuple;
+                            tagged.payload = pkg_ingress::hedge::encode_tag(state.next_id());
+                            sink.deliver(tx, depths, alt, Packet::Tuple(tagged.clone()));
+                            sink.deliver(tx, depths, w, Packet::Tuple(tagged));
+                            return;
+                        }
+                    }
+                }
+                sink.deliver(tx, depths, w, Packet::Tuple(tuple));
+            }
             Target::All => {
-                let n = edge.tx.fanout();
+                let n = tx.fanout();
                 for w in 1..n {
-                    sink.deliver(&edge.tx, w, Packet::Tuple(tuple.clone()));
+                    sink.deliver(tx, depths, w, Packet::Tuple(tuple.clone()));
                 }
                 if n > 0 {
-                    sink.deliver(&edge.tx, 0, Packet::Tuple(tuple));
+                    sink.deliver(tx, depths, 0, Packet::Tuple(tuple));
                 }
             }
+        }
+    }
+
+    /// Queue depth of `tx`'s destination `w` — the gauge under the thread
+    /// executor, the live mailbox length under the pool.
+    fn dest_depth(tx: &EdgeTx, depths: &[Arc<DepthGauge>], sink: &Sink<'_>, w: usize) -> usize {
+        match (tx, sink) {
+            (EdgeTx::Channels(_), _) => depths.get(w).map_or(0, |g| g.load()),
+            (EdgeTx::Tasks(dests) | EdgeTx::TaskRings(dests), Sink::Pool { shared, .. }) => {
+                shared.depth(dests[w])
+            }
+            _ => 0,
         }
     }
 

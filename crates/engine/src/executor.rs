@@ -6,8 +6,10 @@ use crossbeam::channel::{Receiver, RecvTimeoutError};
 use pkg_metrics::LatencyHistogram;
 
 use crate::bolt::{Bolt, EdgeTx, Emitter, OutEdge, Sink};
+use crate::ingress::{DepthGauge, SpoutIngress};
 use crate::metrics::InstanceStats;
 use crate::spout::Spout;
+use crate::sync::Arc;
 use crate::tuple::Packet;
 
 /// Accumulates state-size samples (shared with the pool executor).
@@ -60,6 +62,7 @@ pub(crate) fn run_spout(
     mut edges: Vec<OutEdge>,
     epoch: Instant,
     stall_scale: f64,
+    mut ingress: Option<SpoutIngress>,
 ) -> InstanceStats {
     let mut processed = 0u64;
     let mut emitted = 0u64;
@@ -67,6 +70,12 @@ pub(crate) fn run_spout(
     while let Some(tuple) = spout.next() {
         processed += 1;
         let now_ns = epoch.elapsed().as_nanos() as u64;
+        if let Some(ing) = ingress.as_mut() {
+            let depth = edges.iter().map(OutEdge::max_gauge_depth).max().unwrap_or(0);
+            if !ing.offer(&tuple.key, tuple.key_id(), tuple.value, depth, now_ns) {
+                continue;
+            }
+        }
         let mut em = Emitter {
             edges: &mut edges,
             sink: Sink::Blocking,
@@ -81,6 +90,26 @@ pub(crate) fn run_spout(
         em.emit(tuple);
         stalled_ns += em.stalled_ns;
     }
+    // Drain phase: re-inject whatever the shed policy retained (degraded
+    // summaries), as ordinary tuples ahead of Eof.
+    if let Some(ing) = ingress.as_mut() {
+        ing.start_drain();
+        while let Some(tuple) = ing.next_drained() {
+            let now_ns = (epoch.elapsed().as_nanos() as u64).max(1);
+            let mut em = Emitter {
+                edges: &mut edges,
+                sink: Sink::Blocking,
+                inherit_born_ns: 0,
+                now_ns,
+                emitted: &mut emitted,
+                deferred_ns: 0,
+                stall_scale,
+                stalled_ns: 0,
+            };
+            em.emit(tuple);
+            stalled_ns += em.stalled_ns;
+        }
+    }
     send_eof(&mut edges);
     InstanceStats {
         component,
@@ -94,6 +123,10 @@ pub(crate) fn run_spout(
         ticks: 0,
         stalled_ns,
         activations: 1,
+        shed_dropped: ingress.as_ref().map_or(0, SpoutIngress::dropped),
+        shed_degraded: ingress.as_ref().map_or(0, SpoutIngress::degraded),
+        hedges: edges.iter().map(|e| e.hedge.as_ref().map_or(0, |h| h.issued)).sum(),
+        max_depth: 0,
     }
 }
 
@@ -109,6 +142,7 @@ pub(crate) fn run_bolt(
     tick_every: Option<Duration>,
     epoch: Instant,
     stall_scale: f64,
+    gauge: Option<Arc<DepthGauge>>,
 ) -> InstanceStats {
     let mut processed = 0u64;
     let mut emitted = 0u64;
@@ -160,6 +194,10 @@ pub(crate) fn run_bolt(
         };
         match packet {
             Packet::Tuple(tuple) => {
+                // Balance the sender-side increment (see `Sink::deliver`).
+                if let Some(g) = &gauge {
+                    g.dec();
+                }
                 let now_ns = (epoch.elapsed().as_nanos() as u64).max(1);
                 latency.record(now_ns.saturating_sub(tuple.born_ns));
                 let mut em = Emitter {
@@ -217,5 +255,9 @@ pub(crate) fn run_bolt(
         ticks,
         stalled_ns,
         activations: 1,
+        shed_dropped: 0,
+        shed_degraded: 0,
+        hedges: edges.iter().map(|e| e.hedge.as_ref().map_or(0, |h| h.issued)).sum(),
+        max_depth: gauge.as_ref().map_or(0, |g| g.high() as u64),
     }
 }

@@ -284,6 +284,21 @@ impl Router {
         }
     }
 
+    /// Candidate instances for a *head* key's next message under an
+    /// adaptive (D-/W-Choices) grouping, in hash-sequence order; `None` for
+    /// tail keys and every other grouping. Must be consulted *before*
+    /// [`Router::route`] for the same message — routing observes the key,
+    /// which can flip the head prediction for the one after. The hedged
+    /// dispatcher uses this to pick the fallback instance.
+    pub fn head_candidates(&self, key_id: u64) -> Option<Vec<usize>> {
+        match &self.kind {
+            RouterKind::Adaptive { choices } if choices.is_head(key_id) => {
+                Some(choices.candidates(key_id))
+            }
+            _ => None,
+        }
+    }
+
     /// Advance this sender's membership epoch by one if its routed-tuple
     /// count has crossed the next plan threshold, switching routing onto the
     /// new live set and returning the epoch just entered. The emitter calls
@@ -555,7 +570,7 @@ mod tests {
         let mut seen = 0usize;
         let mut prev_dest = None;
         for (dest, idxs) in out.runs() {
-            assert!(prev_dest.map_or(true, |p| p < dest), "runs ascend by destination");
+            assert!(prev_dest.is_none_or(|p| p < dest), "runs ascend by destination");
             prev_dest = Some(dest);
             assert!(!idxs.is_empty());
             for w in idxs.windows(2) {

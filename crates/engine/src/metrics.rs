@@ -40,6 +40,19 @@ pub struct InstanceStats {
     /// thread-per-instance the whole run is one long activation, so it
     /// is 1.
     pub activations: u64,
+    /// Tuples refused at ingress and discarded outright (spouts only; zero
+    /// when the ingress layer is disabled).
+    pub shed_dropped: u64,
+    /// Tuples refused at ingress and absorbed into a degraded summary
+    /// (spouts only; see `pkg_ingress::Shed::Absorbed`).
+    pub shed_degraded: u64,
+    /// Hedged dispatches issued (spouts only): head tuples duplicated to a
+    /// second candidate because the chosen instance was over its latency
+    /// budget.
+    pub hedges: u64,
+    /// High-water mark of this instance's input queue depth (bolts only):
+    /// the deepest its mailbox/gauge got at any point in the run.
+    pub max_depth: u64,
 }
 
 /// Results of one topology run.
@@ -127,5 +140,37 @@ impl RunStats {
     /// Sum of per-instance maximum state sizes.
     pub fn max_state(&self, component: &str) -> usize {
         self.instances.iter().filter(|i| i.component == component).map(|i| i.max_state).sum()
+    }
+
+    /// Tuples a component's ingress layer dropped outright.
+    pub fn shed_dropped(&self, component: &str) -> u64 {
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.shed_dropped).sum()
+    }
+
+    /// Tuples a component's ingress layer absorbed into degraded summaries.
+    pub fn shed_degraded(&self, component: &str) -> u64 {
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.shed_degraded).sum()
+    }
+
+    /// Hedged dispatches a component issued.
+    pub fn hedges(&self, component: &str) -> u64 {
+        self.instances.iter().filter(|i| i.component == component).map(|i| i.hedges).sum()
+    }
+
+    /// Deepest input queue any instance of a component reached.
+    pub fn max_depth(&self, component: &str) -> u64 {
+        self.instances
+            .iter()
+            .filter(|i| i.component == component)
+            .map(|i| i.max_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `[p50, p99, p999]` of a component's merged input-age histogram, in
+    /// nanoseconds (end-to-end latency at terminal bolts).
+    pub fn latency_percentiles(&self, component: &str) -> [u64; 3] {
+        let merged = self.latency(component);
+        [merged.quantile(0.50), merged.quantile(0.99), merged.quantile(0.999)]
     }
 }

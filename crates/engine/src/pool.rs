@@ -62,6 +62,7 @@ use pkg_metrics::LatencyHistogram;
 use crate::bolt::{Bolt, EdgeTx, Emitter, OutEdge, Sink};
 use crate::executor::StateSampler;
 use crate::grouping::{Router, TargetBatch};
+use crate::ingress::{HedgeState, IngressOptions, SpoutIngress};
 use crate::metrics::{InstanceStats, RunStats};
 use crate::ring::SpscRing;
 use crate::spout::Spout;
@@ -126,6 +127,8 @@ enum TaskKind {
     Spout {
         spout: Box<dyn Spout>,
         exhausted: bool,
+        /// Admission control / shedding state ([`IngressOptions`] set).
+        ingress: Option<SpoutIngress>,
     },
     Bolt {
         bolt: Box<dyn Bolt>,
@@ -164,6 +167,9 @@ struct TaskBody {
     latency: LatencyHistogram,
     sampler: StateSampler,
     final_state: usize,
+    /// High-water mark of this task's own mailbox depth, copied from the
+    /// producer-maintained `TaskSlot::depth_high` when the task completes.
+    max_depth: u64,
 }
 
 impl TaskBody {
@@ -193,10 +199,16 @@ impl TaskBody {
             latency: LatencyHistogram::new(5),
             sampler: StateSampler::default(),
             final_state: 0,
+            max_depth: 0,
         }
     }
 
     fn into_stats(self) -> InstanceStats {
+        let (shed_dropped, shed_degraded) = match &self.kind {
+            TaskKind::Spout { ingress: Some(ing), .. } => (ing.dropped(), ing.degraded()),
+            _ => (0, 0),
+        };
+        let hedges = self.edges.iter().map(|e| e.hedge.as_ref().map_or(0, |h| h.issued)).sum();
         InstanceStats {
             component: self.component,
             instance: self.instance,
@@ -209,6 +221,10 @@ impl TaskBody {
             ticks: self.ticks,
             stalled_ns: self.stalled_ns,
             activations: self.activations,
+            shed_dropped,
+            shed_degraded,
+            hedges,
+            max_depth: self.max_depth,
         }
     }
 }
@@ -240,6 +256,10 @@ struct TaskSlot {
     mailbox: Option<Mailbox>,
     /// Taken by the worker for the duration of an activation.
     body: Mutex<Option<Box<TaskBody>>>,
+    /// Producer-maintained high-water mark of the mailbox depth — the pool
+    /// analogue of `DepthGauge::high` in the thread executor, surfaced as
+    /// `InstanceStats::max_depth` when the task completes.
+    depth_high: AtomicUsize,
 }
 
 struct Sched {
@@ -279,19 +299,51 @@ impl Shared {
         mb
     }
 
+    /// Current queue depth of `tid`'s mailbox — the downstream-pressure
+    /// signal consulted by ingress watermark shedding and hedged dispatch.
+    /// A point-in-time read: the mutexed arm takes the mailbox lock, the
+    /// ring arm reads the published indices.
+    pub(crate) fn depth(&self, tid: usize) -> usize {
+        match self.mailbox(tid) {
+            Mailbox::Mutexed { inner, .. } => lock(inner).queue.len(),
+            Mailbox::Ring(ring) => ring.len(),
+        }
+    }
+
+    /// Fold an observed mailbox depth into `tid`'s high-water mark. The
+    /// model-switched `AtomicUsize` has no `fetch_max`, hence the CAS loop.
+    fn note_depth(&self, tid: usize, depth: usize) {
+        let high = &self.tasks[tid].depth_high;
+        // ordering: SeqCst — statistics-only high-water, kept at the module
+        // policy ordering (SC-only model)
+        let mut cur = high.load(SeqCst);
+        while depth > cur {
+            // ordering: SeqCst — monotone max update (SC-only model)
+            match high.compare_exchange(cur, depth, SeqCst, SeqCst) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
     /// Emitter fast path: non-blocking push into `dest`'s mailbox. On
     /// `Err` the caller spills to its outbox and parks at activation end.
     pub(crate) fn try_push(&self, dest: usize, packet: Packet) -> Result<(), Packet> {
-        match self.mailbox(dest) {
+        let depth = match self.mailbox(dest) {
             Mailbox::Mutexed { cap, inner } => {
                 let mut inner = lock(inner);
                 if inner.queue.len() >= *cap {
                     return Err(packet);
                 }
                 inner.queue.push_back(packet);
+                inner.queue.len()
             }
-            Mailbox::Ring(ring) => ring.try_push(packet)?,
-        }
+            Mailbox::Ring(ring) => {
+                ring.try_push(packet)?;
+                ring.len()
+            }
+        };
+        self.note_depth(dest, depth);
         self.wake(dest, &WakeKind::Notify);
         Ok(())
     }
@@ -301,7 +353,7 @@ impl Shared {
     /// under the same lock as the capacity check, for the ring via its
     /// announce→re-check protocol — so the release can never be missed.
     fn push_or_park(&self, dest: usize, packet: Packet, waiter: usize) -> Result<(), Packet> {
-        match self.mailbox(dest) {
+        let depth = match self.mailbox(dest) {
             Mailbox::Mutexed { cap, inner } => {
                 let mut inner = lock(inner);
                 if inner.queue.len() >= *cap {
@@ -317,9 +369,14 @@ impl Shared {
                     return Err(packet);
                 }
                 inner.queue.push_back(packet);
+                inner.queue.len()
             }
-            Mailbox::Ring(ring) => ring.push_or_park(packet, waiter)?,
-        }
+            Mailbox::Ring(ring) => {
+                ring.push_or_park(packet, waiter)?;
+                ring.len()
+            }
+        };
+        self.note_depth(dest, depth);
         self.wake(dest, &WakeKind::Notify);
         Ok(())
     }
@@ -365,6 +422,9 @@ impl Shared {
             outbox.push_back((dest, take_routed(tuples, idx)));
         }
         if accepted > 0 {
+            // One high-water fold per run (the batch analogue of the
+            // per-push updates in `try_push`/`push_or_park`).
+            self.note_depth(dest, self.depth(dest));
             self.wake(dest, &WakeKind::Notify);
         }
     }
@@ -526,8 +586,12 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
     } = body;
     let stall_scale = *stall_scale;
     match kind {
-        TaskKind::Spout { spout, exhausted } => {
-            if !*exhausted && edges.len() == 1 && edges[0].router.is_batchable() {
+        TaskKind::Spout { spout, exhausted, ingress } => {
+            if !*exhausted
+                && edges.len() == 1
+                && edges[0].router.is_batchable()
+                && ingress.is_none()
+            {
                 // Batched hot path: generate up to a quantum of tuples,
                 // route them all in one `route_batch` pass, and deliver
                 // each destination's run with one lock acquisition and one
@@ -573,6 +637,32 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                         Some(tuple) => {
                             *processed += 1;
                             let now_ns = shared.now_ns();
+                            if let Some(ing) = ingress.as_mut() {
+                                // The watermark signal: deepest downstream
+                                // mailbox across every edge destination.
+                                let depth = edges
+                                    .iter()
+                                    .map(|e| {
+                                        let (EdgeTx::Tasks(dests) | EdgeTx::TaskRings(dests)) =
+                                            &e.tx
+                                        else {
+                                            unreachable!("pool tasks only have pool edges");
+                                        };
+                                        dests.iter().map(|&d| shared.depth(d)).max().unwrap_or(0)
+                                    })
+                                    .max()
+                                    .unwrap_or(0);
+                                let admit = ing.offer(
+                                    &tuple.key,
+                                    tuple.key_id(),
+                                    tuple.value,
+                                    depth,
+                                    now_ns,
+                                );
+                                if !admit {
+                                    continue;
+                                }
+                            }
                             let mut em = Emitter {
                                 edges,
                                 sink: Sink::Pool { shared, outbox },
@@ -591,18 +681,54 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                         }
                         None => {
                             *exhausted = true;
-                            queue_eofs(edges, outbox);
+                            if ingress.is_none() {
+                                queue_eofs(edges, outbox);
+                            }
                             break;
                         }
+                    }
+                }
+            }
+            if *exhausted {
+                if let Some(ing) = ingress.as_mut() {
+                    // Drain phase: re-inject retained summaries as ordinary
+                    // tuples ahead of Eof. Restartable — if the outbox fills
+                    // mid-drain the task parks here, and `is_complete` holds
+                    // the Eof protocol open until the queue runs dry.
+                    ing.start_drain();
+                    while outbox.is_empty() {
+                        let Some(tuple) = ing.next_drained() else { break };
+                        let now_ns = shared.now_ns();
+                        let mut em = Emitter {
+                            edges,
+                            sink: Sink::Pool { shared, outbox },
+                            inherit_born_ns: 0,
+                            now_ns,
+                            emitted,
+                            deferred_ns: 0,
+                            stall_scale,
+                            stalled_ns: 0,
+                        };
+                        em.emit(tuple);
+                    }
+                    // Queued at most once: after this activation,
+                    // `is_complete` short-circuits the arm to `Done`.
+                    if ing.drain_complete() {
+                        queue_eofs(edges, outbox);
                     }
                 }
             }
             if !deliver_outbox(shared, tid, outbox) {
                 return Outcome::Park;
             }
-            if *exhausted {
+            let drain_complete = match ingress {
+                Some(ing) => ing.drain_complete(),
+                None => true,
+            };
+            if *exhausted && drain_complete {
                 Outcome::Done
             } else {
+                // Input left, or retained summaries still draining.
                 Outcome::Yield
             }
         }
@@ -740,7 +866,12 @@ fn is_complete(body: &TaskBody) -> bool {
         return false;
     }
     match &body.kind {
-        TaskKind::Spout { exhausted, .. } => *exhausted,
+        TaskKind::Spout { exhausted, ingress, .. } => match ingress {
+            // A spout with ingress is complete only once the retained
+            // summaries have all been re-injected (see the drain phase).
+            Some(ing) => *exhausted && ing.drain_complete(),
+            None => *exhausted,
+        },
         TaskKind::Bolt { eof_remaining, .. } => *eof_remaining == 0,
     }
 }
@@ -796,6 +927,10 @@ fn run_task(shared: &Shared, tid: usize, wid: usize) {
     };
     let outcome = activate(shared, tid, &mut body);
     if matches!(outcome, Outcome::Done) {
+        // Every sender's Eof was its last send, so the high-water mark is
+        // final by the time the task completes.
+        // ordering: SeqCst — read after the Eof protocol quiesced (SC-only model)
+        body.max_depth = slot.depth_high.load(SeqCst) as u64;
         lock(&shared.stats).push(body.into_stats());
         // ordering: SeqCst — DONE precedes the remaining decrement (SC-only model)
         slot.state.store(DONE, SeqCst);
@@ -896,6 +1031,7 @@ fn worker_loop(shared: &Shared, wid: usize) {
 /// per-activation quantum of `batch` packets. With `spsc_rings` on,
 /// destinations fed by exactly one upstream sender instance get lock-free
 /// SPSC ring mailboxes instead of mutexed queues.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_pool(
     topology: &Topology,
     channel_capacity: usize,
@@ -904,6 +1040,7 @@ pub(crate) fn run_pool(
     batch: usize,
     capacities: &crate::runtime::InstanceCapacities,
     spsc_rings: bool,
+    ingress: Option<&IngressOptions>,
 ) -> RunStats {
     // Pool mailboxes are asynchronous queues with no rendezvous mode: a
     // capacity-0 mailbox could never accept a packet and every producer
@@ -933,6 +1070,7 @@ pub(crate) fn run_pool(
     for (ci, c) in topology.components.iter().enumerate() {
         for i in 0..c.parallelism {
             let tid = first_task[ci] + i;
+            let is_spout = matches!(c.kind, ComponentKind::Spout(_));
             let edges: Vec<OutEdge> = out_edges[ci]
                 .iter()
                 .map(|(to, grouping, edge_seed)| OutEdge {
@@ -952,12 +1090,28 @@ pub(crate) fn run_pool(
                             EdgeTx::Tasks(dests)
                         }
                     },
+                    // Gauges are the thread executor's depth signal; the
+                    // pool reads mailbox lengths via `Shared::depth`.
+                    depths: Vec::new(),
+                    hedge: match ingress {
+                        // Same sender id derivation as the thread executor,
+                        // so hedge tags are executor-independent.
+                        Some(opts) if is_spout => opts
+                            .hedge_depth_budget
+                            .map(|budget| HedgeState::new(budget, (ci as u64) << 16 | i as u64)),
+                        _ => None,
+                    },
                 })
                 .collect();
             let (kind, mailbox, initial_state) = match &c.kind {
                 ComponentKind::Spout(factory) => {
                     runq.push_back(tid);
-                    (TaskKind::Spout { spout: factory(i), exhausted: false }, None, QUEUED)
+                    let ing = ingress.map(|opts| SpoutIngress::new(opts, i));
+                    (
+                        TaskKind::Spout { spout: factory(i), exhausted: false, ingress: ing },
+                        None,
+                        QUEUED,
+                    )
                 }
                 ComponentKind::Bolt(factory) => {
                     let period_ns = c.tick_every.map(|p| (p.as_nanos() as u64).max(1));
@@ -989,6 +1143,7 @@ pub(crate) fn run_pool(
             tasks.push(TaskSlot {
                 state: AtomicU8::new(initial_state),
                 mailbox,
+                depth_high: AtomicUsize::new(0),
                 body: Mutex::new(Some(Box::new(TaskBody::new(
                     c.name.clone(),
                     i,

@@ -48,6 +48,7 @@ fn mini_shared(n_tasks: usize, cap: usize) -> Shared {
                 state: AtomicU8::new(IDLE),
                 mailbox: Some(Mailbox::Mutexed { cap, inner: Mutex::default() }),
                 body: Mutex::new(None),
+                depth_high: AtomicUsize::new(0),
             })
             .collect(),
         sched: Mutex::new(Sched { runq: VecDeque::new(), timers: TimerWheel::new() }),
@@ -258,10 +259,16 @@ fn blank_body(component: &str, kind: TaskKind, edges: Vec<OutEdge>) -> TaskBody 
 /// covering the ring legs of the same protocol.
 fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize, ring: bool) -> Shared {
     let tx = if ring { EdgeTx::TaskRings(vec![1]) } else { EdgeTx::Tasks(vec![1]) };
-    let spout_edges = vec![OutEdge { router: Router::new(&Grouping::Key, 1, 7, 0), tx }];
+    let spout_edges = vec![OutEdge {
+        router: Router::new(&Grouping::Key, 1, 7, 0),
+        tx,
+        depths: Vec::new(),
+        hedge: None,
+    }];
     let spout_kind = TaskKind::Spout {
         spout: spout_from_iter((1..=3).map(|v| Tuple::new(*b"k", v))),
         exhausted: false,
+        ingress: None,
     };
     let bolt_kind = TaskKind::Bolt {
         bolt: Box::new(OrderBolt { seen }),
@@ -280,11 +287,13 @@ fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize, ring: bool) -> S
                 state: AtomicU8::new(QUEUED),
                 mailbox: None,
                 body: Mutex::new(Some(Box::new(blank_body("src", spout_kind, spout_edges)))),
+                depth_high: AtomicUsize::new(0),
             },
             TaskSlot {
                 state: AtomicU8::new(IDLE),
                 mailbox: Some(mailbox),
                 body: Mutex::new(Some(Box::new(blank_body("sink", bolt_kind, Vec::new())))),
+                depth_high: AtomicUsize::new(0),
             },
         ],
         sched: Mutex::new(Sched { runq: VecDeque::from([0]), timers: TimerWheel::new() }),

@@ -13,7 +13,9 @@ use pkg_hash::murmur3::fmix64;
 use crate::bolt::{EdgeTx, OutEdge};
 use crate::executor::{run_bolt, run_spout};
 use crate::grouping::{Grouping, Router};
+use crate::ingress::{DepthGauge, HedgeState, IngressOptions, SpoutIngress};
 use crate::metrics::{InstanceStats, RunStats};
+use crate::sync::Arc;
 use crate::topology::{ComponentKind, Topology};
 use crate::tuple::Packet;
 
@@ -131,6 +133,11 @@ pub struct RuntimeOptions {
     /// queue (on by default; `false` forces every mailbox onto the mutexed
     /// path, which the parity suite uses as a differential oracle).
     pub spsc_rings: bool,
+    /// Ingress layer between spouts and the routing layer: admission
+    /// control, load shedding, and hedged dispatch (see
+    /// [`crate::ingress`]). `None` (the default) disables it entirely —
+    /// the spout path is then byte-for-byte the pre-ingress code path.
+    pub ingress: Option<IngressOptions>,
 }
 
 impl Default for RuntimeOptions {
@@ -141,6 +148,7 @@ impl Default for RuntimeOptions {
             executor: ExecutorMode::from_env().unwrap_or(ExecutorMode::ThreadPerInstance),
             capacities: InstanceCapacities::uniform(),
             spsc_rings: true,
+            ingress: None,
         }
     }
 }
@@ -212,6 +220,7 @@ impl Runtime {
                 if batch == 0 { crate::pool::DEFAULT_BATCH } else { batch },
                 &self.opts.capacities,
                 self.opts.spsc_rings,
+                self.opts.ingress.as_ref(),
             ),
         }
     }
@@ -250,6 +259,21 @@ impl Runtime {
         let out_edges = build_out_edges(&topology, self.opts.seed);
         let upstream_senders = upstream_sender_counts(&topology);
 
+        // One depth gauge per bolt instance: every upstream sender
+        // increments on delivery, the owning bolt decrements on receipt.
+        // Always on — they feed `InstanceStats::max_depth` and, when the
+        // ingress layer is enabled, the shed watermark and hedge budget.
+        let gauges: Vec<Vec<Arc<DepthGauge>>> = topology
+            .components
+            .iter()
+            .map(|c| match c.kind {
+                ComponentKind::Spout(_) => Vec::new(),
+                ComponentKind::Bolt(_) => {
+                    (0..c.parallelism).map(|_| Arc::new(DepthGauge::new())).collect()
+                }
+            })
+            .collect();
+
         let epoch = Instant::now();
         let (stats_tx, stats_rx) = crossbeam::channel::unbounded::<InstanceStats>();
         let mut handles = Vec::new();
@@ -261,6 +285,7 @@ impl Runtime {
             #[allow(clippy::needless_range_loop)]
             for i in 0..c.parallelism {
                 total_instances += 1;
+                let is_spout = matches!(c.kind, ComponentKind::Spout(_));
                 // Build this instance's outgoing edges.
                 let edges: Vec<OutEdge> = out_edges[ci]
                     .iter()
@@ -280,6 +305,13 @@ impl Runtime {
                                 })
                                 .collect(),
                         ),
+                        depths: gauges[*to].clone(),
+                        hedge: match &self.opts.ingress {
+                            Some(opts) if is_spout => opts.hedge_depth_budget.map(|budget| {
+                                HedgeState::new(budget, (ci as u64) << 16 | i as u64)
+                            }),
+                            _ => None,
+                        },
                     })
                     .collect();
                 let name = c.name.clone();
@@ -288,8 +320,10 @@ impl Runtime {
                 match &c.kind {
                     ComponentKind::Spout(factory) => {
                         let spout = factory(i);
+                        let ingress =
+                            self.opts.ingress.as_ref().map(|opts| SpoutIngress::new(opts, i));
                         handles.push(std::thread::spawn(move || {
-                            let s = run_spout(name, i, spout, edges, epoch, stall_scale);
+                            let s = run_spout(name, i, spout, edges, epoch, stall_scale, ingress);
                             if stats_tx.send(s).is_err() {
                                 unreachable!("stats channel outlives executors");
                             }
@@ -302,9 +336,20 @@ impl Runtime {
                         };
                         let eof = upstream_senders[ci];
                         let tick = c.tick_every;
+                        let gauge = Some(Arc::clone(&gauges[ci][i]));
                         handles.push(std::thread::spawn(move || {
-                            let s =
-                                run_bolt(name, i, bolt, rx, edges, eof, tick, epoch, stall_scale);
+                            let s = run_bolt(
+                                name,
+                                i,
+                                bolt,
+                                rx,
+                                edges,
+                                eof,
+                                tick,
+                                epoch,
+                                stall_scale,
+                                gauge,
+                            );
                             if stats_tx.send(s).is_err() {
                                 unreachable!("stats channel outlives executors");
                             }

@@ -10,13 +10,14 @@
 //! | rule      | scope                         | invariant                                     |
 //! |-----------|-------------------------------|-----------------------------------------------|
 //! | `facade`  | engine `pool.rs`, `timer.rs`, | no `std::sync` / `std::thread::sleep` /       |
-//! |           | `elastic.rs`, `ring.rs`;      | `std::time::Instant` outside `crate::sync` —  |
-//! |           | crossbeam `deque.rs`          | what makes the code model-checkable at all    |
+//! |           | `elastic.rs`, `ring.rs`,      | `std::time::Instant` outside `crate::sync` —  |
+//! |           | `ingress.rs`;                 | what makes the code model-checkable at all    |
+//! |           | crossbeam `deque.rs`          |                                               |
 //! | `ordering`| whole workspace               | every memory-ordering token (`SeqCst`, …)     |
 //! |           |                               | carries a `// ordering:` justification within |
 //! |           |                               | 3 lines                                       |
-//! | `panic`   | `pkg-engine` non-test code    | no `.unwrap()` / `.expect(` — engine errors   |
-//! |           |                               | surface as typed panics with context          |
+//! | `panic`   | `pkg-engine` and              | no `.unwrap()` / `.expect(` — engine errors   |
+//! |           | `pkg-ingress` non-test code   | surface as typed panics with context          |
 //! | `unsafe`  | every crate root              | `#![forbid(unsafe_code)]` present             |
 //!
 //! Exit status: 0 when clean, 1 with one diagnostic line per violation.
@@ -38,8 +39,11 @@ const PANIC_RULE_EXEMPT: [&str; 2] =
 /// joined with the pool's raw-speed hot path: both are model-checked, so
 /// both must reach `std` only through their crate's cfg-switched facade
 /// (`crate::sync` in the engine, `crate::atomic` in vendored crossbeam).
-const FACADE_FILES: [&str; 5] = [
+/// The engine's ingress wiring shares types with the pool (depth gauges
+/// flow into shed decisions), so it is held to the same facade.
+const FACADE_FILES: [&str; 6] = [
     "crates/engine/src/elastic.rs",
+    "crates/engine/src/ingress.rs",
     "crates/engine/src/pool.rs",
     "crates/engine/src/ring.rs",
     "crates/engine/src/timer.rs",
@@ -127,7 +131,9 @@ fn lint_file(rel: &str, src: &str) -> Vec<String> {
         rule_facade(rel, &code, &in_test, &mut out);
     }
     rule_ordering(rel, &code, &raw, &in_test, &mut out);
-    if rel.starts_with("crates/engine/src/") && !PANIC_RULE_EXEMPT.contains(&rel) {
+    if (rel.starts_with("crates/engine/src/") || rel.starts_with("crates/ingress/src/"))
+        && !PANIC_RULE_EXEMPT.contains(&rel)
+    {
         rule_panic(rel, &code, &in_test, &mut out);
     }
     if is_crate_root(rel) && !src.contains("#![forbid(unsafe_code)]") {
@@ -619,6 +625,20 @@ mod tests {
         // …and inside engine test code too.
         let gated = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
         assert!(lint("crates/engine/src/runtime.rs", &gated).is_empty());
+    }
+
+    #[test]
+    fn seeded_unwrap_in_ingress_is_caught() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let v = lint("crates/ingress/src/bucket.rs", src);
+        assert!(v.iter().any(|v| v.contains("[panic]")), "{v:?}");
+    }
+
+    #[test]
+    fn engine_ingress_is_a_facade_file() {
+        let src = "use std::sync::Mutex;\nfn f() {}\n";
+        let v = lint("crates/engine/src/ingress.rs", src);
+        assert!(v.iter().any(|v| v.contains("[facade]")), "{v:?}");
     }
 
     #[test]

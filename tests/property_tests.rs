@@ -496,3 +496,138 @@ proptest! {
         }
     }
 }
+
+/// Sorted per-key totals observed at the collector sink.
+type KeyTotals = Vec<(Box<[u8]>, i64)>;
+
+/// One tick-free run of spout → worker (Key) → collector under the given
+/// executor and ingress configuration; the stream is a pure function of
+/// `keys`, so every observable below is deterministic per executor.
+fn ingress_run(
+    executor: partial_key_grouping::engine::ExecutorMode,
+    ingress: Option<IngressOptions>,
+    keys: &[u64],
+) -> (KeyTotals, partial_key_grouping::engine::RunStats) {
+    use partial_key_grouping::agg::Collector;
+    struct Forward;
+    impl Bolt for Forward {
+        fn execute(&mut self, t: Tuple, out: &mut Emitter<'_>) {
+            out.emit(t);
+        }
+    }
+    let collector = Collector::new();
+    let mut topo = Topology::new();
+    let tuples: Vec<Tuple> =
+        keys.iter().map(|&k| Tuple::new(format!("k{k}").into_bytes(), 1)).collect();
+    let src = topo.add_spout("src", 1, move |_| spout_from_iter(tuples.clone()));
+    let worker = topo.add_bolt("worker", 4, |_| Box::new(Forward)).input(src, Grouping::Key).id();
+    let c = collector.clone();
+    let _sink = topo.add_bolt("sink", 1, move |_| c.bolt()).input(worker, Grouping::Shuffle);
+    let options = RuntimeOptions {
+        channel_capacity: 64,
+        seed: 3,
+        executor,
+        ingress,
+        ..RuntimeOptions::default()
+    };
+    let stats = Runtime::with_options(options).run(topo);
+    let mut totals = collector.totals();
+    totals.sort();
+    (totals, stats)
+}
+
+// Ingress / admission-control properties, in a fresh proptest! block once
+// more (the vendored tt-muncher's recursion depth scales with one block's
+// tokens).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn token_bucket_is_deterministic_and_rate_bounded(
+        rate in 1u64..1_000_000,
+        burst in 1u64..64,
+        gaps in prop::collection::vec(0u64..5_000_000, 1..200),
+    ) {
+        // Two buckets with the same parameters fed the same clock sequence
+        // make the same decision at every step, and total admissions never
+        // exceed the burst plus the tokens accrued over the elapsed span.
+        let mut a = pkg_ingress::TokenBucket::new(rate, burst);
+        let mut b = pkg_ingress::TokenBucket::new(rate, burst);
+        let mut now = 0u64;
+        let mut admitted = 0u64;
+        for &gap in &gaps {
+            now += gap;
+            let da = a.admit(now);
+            prop_assert_eq!(da, b.admit(now), "identical buckets diverged at t={}ns", now);
+            admitted += u64::from(da);
+        }
+        let accrued = u64::try_from(u128::from(now) * u128::from(rate) / 1_000_000_000)
+            .expect("accrued tokens fit u64");
+        prop_assert!(
+            admitted <= burst + accrued + 1,
+            "admitted {} > burst {} + accrued {}", admitted, burst, accrued
+        );
+    }
+
+    #[test]
+    fn bucket_shed_decisions_are_byte_identical_across_executors(
+        keys in prop::collection::vec(0u64..40, 50..250),
+        rate in 500u64..50_000,
+        burst in 1u64..16,
+    ) {
+        // On a logical admission clock the admit/shed sequence is a pure
+        // function of the offer index — whatever the rate and burst, the
+        // thread oracle and the pool must shed the same tuples and deliver
+        // the same surviving bytes.
+        let ingress = IngressOptions {
+            rate_per_sec: Some(rate),
+            burst,
+            logical_step_ns: Some(100_000), // 10k offered/s logical
+            ..IngressOptions::default()
+        };
+        let (want_totals, want_stats) = ingress_run(
+            partial_key_grouping::engine::ExecutorMode::ThreadPerInstance,
+            Some(ingress.clone()),
+            &keys,
+        );
+        let (got_totals, got_stats) = ingress_run(
+            partial_key_grouping::engine::ExecutorMode::Pool { workers: 0, batch: 0 },
+            Some(ingress),
+            &keys,
+        );
+        prop_assert_eq!(got_totals, want_totals, "surviving tuples diverged");
+        prop_assert_eq!(got_stats.shed_dropped("src"), want_stats.shed_dropped("src"));
+        prop_assert_eq!(got_stats.shed_degraded("src"), 0);
+        prop_assert_eq!(want_stats.shed_degraded("src"), 0, "HardDrop never degrades");
+        prop_assert_eq!(want_stats.processed("src"), keys.len() as u64);
+        prop_assert_eq!(got_stats.processed("src"), keys.len() as u64);
+    }
+
+    #[test]
+    fn hedging_never_fires_under_a_generous_budget(
+        keys in prop::collection::vec(0u64..6, 100..300),
+    ) {
+        // The hedge predicate is `depth > budget`; with the budget far above
+        // anything a capacity-64 edge can queue it is unsatisfiable, in any
+        // interleaving, under either executor — and with no hedges issued
+        // the aggregator-side dedup ledger must not move either.
+        let ingress = IngressOptions {
+            hedge_depth_budget: Some(1 << 20),
+            ..IngressOptions::default()
+        };
+        for executor in [
+            partial_key_grouping::engine::ExecutorMode::ThreadPerInstance,
+            partial_key_grouping::engine::ExecutorMode::Pool { workers: 0, batch: 0 },
+        ] {
+            let dups_before = pkg_ingress::hedge::audit::duplicates();
+            let (_, stats) = ingress_run(executor, Some(ingress.clone()), &keys);
+            prop_assert_eq!(stats.hedges("src"), 0, "hedged under an unsatisfiable budget");
+            prop_assert_eq!(stats.shed_dropped("src"), 0);
+            prop_assert_eq!(
+                pkg_ingress::hedge::audit::duplicates() - dups_before,
+                0,
+                "duplicates recorded with no hedges issued"
+            );
+        }
+    }
+}
