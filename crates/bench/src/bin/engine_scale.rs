@@ -27,7 +27,7 @@ use std::time::Instant;
 use pkg_apps::wordcount::{wordcount_topology, WordCountConfig, WordCountVariant};
 use pkg_bench::{seed, TextTable};
 use pkg_engine::tuple::audit;
-use pkg_engine::{ExecutorMode, Runtime, RuntimeOptions};
+use pkg_engine::{ExecutorMode, LoadSignalOptions, Runtime, RuntimeOptions};
 
 /// One sweep point: a word-count topology with `instances` total PEIs
 /// (sources + counters + 1 aggregator) fed `messages` tuples in total.
@@ -60,6 +60,19 @@ fn config_for(p: &Point, total_messages: u64) -> WordCountConfig {
     }
 }
 
+/// Load-signal configuration this sweep routes under (`None` = the default
+/// tuple-count local estimation). Its metric label rides in every
+/// trajectory record so throughput history stays comparable if a future
+/// sweep switches signals.
+fn active_load() -> Option<LoadSignalOptions> {
+    None
+}
+
+/// Label of the load metric in effect, for the trajectory log.
+fn metric_label() -> &'static str {
+    active_load().map_or("count", |l| l.metric.label())
+}
+
 fn run_point(cfg: &WordCountConfig, mode: ExecutorMode) -> Result<Measurement, String> {
     let (topo, _, _, _) = wordcount_topology(cfg);
     let (heap0, clones0) = (audit::heap_keys(), audit::tuple_clones());
@@ -68,6 +81,7 @@ fn run_point(cfg: &WordCountConfig, mode: ExecutorMode) -> Result<Measurement, S
         channel_capacity: 1_024,
         seed: seed(),
         executor: mode,
+        load: active_load(),
         ..RuntimeOptions::default()
     })
     .run(topo);
@@ -321,8 +335,15 @@ fn append_trajectory(smoke: bool, results: &[(usize, &'static str, Measurement)]
     let unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    let mut rec =
-        format!("{{\"unix_time\": {unix}, \"seed\": {}, \"smoke\": {smoke}, \"points\": [", seed());
+    // `metric` records the load signal routing minimized (see
+    // `active_load`); the tolerant string-scan readers ignore it, so
+    // records with and without the field coexist in one log.
+    let mut rec = format!(
+        "{{\"unix_time\": {unix}, \"seed\": {}, \"smoke\": {smoke}, \"metric\": \"{}\", \
+         \"points\": [",
+        seed(),
+        metric_label()
+    );
     for (i, (instances, label, m)) in results.iter().enumerate() {
         if i > 0 {
             rec.push_str(", ");

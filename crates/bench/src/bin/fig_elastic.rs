@@ -232,7 +232,7 @@ fn main() {
 
     // Gate 3: every post-change epoch re-enters the pre-change band within
     // the epoch, and ends inside it.
-    let conserved_sim = report.worker_loads.iter().sum::<u64>() == sim_messages
+    let conserved_sim = report.load_sum(0..report.workers) == sim_messages
         && stats.len() == 3
         && stats.iter().map(|e| e.messages).sum::<u64>() == sim_messages;
     let reconverged = conserved_sim

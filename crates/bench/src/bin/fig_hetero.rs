@@ -191,8 +191,8 @@ fn main() {
     tsv.push('\n');
     for p in &points {
         for (arm, r) in [("weighted", &p.weighted), ("blind", &p.blind)] {
-            let fast: u64 = r.worker_loads[..p.w / 2].iter().sum();
-            let slow: u64 = r.worker_loads[p.w / 2..].iter().sum();
+            let fast = r.load_sum(0..p.w / 2);
+            let slow = r.load_sum(p.w / 2..p.w);
             table.row([
                 format!("{}:1", p.ratio),
                 p.w.to_string(),
@@ -267,8 +267,8 @@ fn main() {
     let mut fair = true;
     for p in points.iter().filter(|p| p.ratio == 4.0) {
         let split = |r: &SimReport| {
-            let fast: u64 = r.worker_loads[..p.w / 2].iter().sum();
-            let slow: u64 = r.worker_loads[p.w / 2..].iter().sum();
+            let fast = r.load_sum(0..p.w / 2);
+            let slow = r.load_sum(p.w / 2..p.w);
             fast as f64 / slow.max(1) as f64
         };
         let (wf, bf) = (split(&p.weighted), split(&p.blind));

@@ -7,7 +7,7 @@
 
 use std::process::Command;
 
-const DRIVERS: [&str; 16] = [
+const DRIVERS: [&str; 17] = [
     "table1",
     "table2",
     "fig2",
@@ -17,6 +17,7 @@ const DRIVERS: [&str; 16] = [
     "fig5b",
     "fig5_overhead",
     "fig_dchoices",
+    "fig_drift",
     "fig_hetero",
     "fig_overload",
     "theory_bounds",

@@ -20,7 +20,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use pkg_metrics::Capacities;
+use pkg_metrics::{Capacities, CapacityEstimator, LoadMetricKind};
+
+use crate::signals::SharedSignals;
 
 /// The true worker loads, shared between the simulation (which maintains
 /// them) and any estimators that are allowed to read them.
@@ -30,16 +32,27 @@ use pkg_metrics::Capacities;
 /// read them back via [`SharedLoads::capacities`] so every source routes by
 /// capacity-normalized load. Uniform weights collapse to `None` and the
 /// schemes keep their exact capacity-free code paths.
+/// The load *signal* a scheme minimizes is pluggable
+/// ([`SharedLoads::with_signals`]): when signal state is attached,
+/// [`SharedLoads::signal`] combines the tuple count with pending/latency
+/// observations per the active [`LoadMetricKind`]. The default
+/// configuration attaches nothing and keeps the raw count — byte-identical
+/// to the pre-signal structure.
 #[derive(Debug, Clone, Default)]
 pub struct SharedLoads {
     loads: Arc<Vec<AtomicU64>>,
     capacities: Option<Capacities>,
+    signals: Option<Arc<SharedSignals>>,
 }
 
 impl SharedLoads {
     /// Zeroed shared loads for `n` workers (homogeneous cluster).
     pub fn new(n: usize) -> Self {
-        Self { loads: Arc::new((0..n).map(|_| AtomicU64::new(0)).collect()), capacities: None }
+        Self {
+            loads: Arc::new((0..n).map(|_| AtomicU64::new(0)).collect()),
+            capacities: None,
+            signals: None,
+        }
     }
 
     /// Attach per-worker capacity weights (one per worker; uniform weights
@@ -52,6 +65,32 @@ impl SharedLoads {
         assert_eq!(capacities.len(), self.n(), "one capacity per worker");
         self.capacities = Capacities::heterogeneous(capacities);
         self
+    }
+
+    /// Attach pluggable load-signal state (metric + optional online
+    /// capacity estimator). The default configuration (`TupleCount`, no
+    /// estimator) attaches nothing — see [`SharedSignals::attach`].
+    pub fn with_signals(
+        mut self,
+        kind: LoadMetricKind,
+        estimator: Option<Arc<CapacityEstimator>>,
+    ) -> Self {
+        self.signals = SharedSignals::attach(self.n(), kind, estimator);
+        self
+    }
+
+    /// The attached signal state, if any.
+    pub fn signals(&self) -> Option<&Arc<SharedSignals>> {
+        self.signals.as_ref()
+    }
+
+    /// Label of the active load metric (`"count"` when no signals are
+    /// attached).
+    pub fn metric_label(&self) -> &'static str {
+        match &self.signals {
+            Some(s) => s.kind().label(),
+            None => "count",
+        }
     }
 
     /// The capacity weights (`None` for a homogeneous cluster).
@@ -79,6 +118,17 @@ impl SharedLoads {
         self.loads[w].load(Ordering::Relaxed)
     }
 
+    /// The load *signal* of worker `w` under the active metric — the raw
+    /// count when no signals are attached.
+    #[inline]
+    pub fn signal(&self, w: usize) -> u64 {
+        let count = self.load(w);
+        match &self.signals {
+            Some(s) => s.signal(w, count),
+            None => count,
+        }
+    }
+
     /// Snapshot all loads.
     pub fn snapshot(&self) -> Vec<u64> {
         // ordering: Relaxed — snapshot is advisory (imbalance metrics), and
@@ -103,7 +153,16 @@ pub enum EstimateKind {
 
 impl EstimateKind {
     /// Instantiate for `n` workers against the given true loads.
+    ///
+    /// When `shared` carries attached load signals, *every* kind builds a
+    /// [`Estimate::Global`]: pending counters and latency EWMAs are shared
+    /// feedback by nature — a per-source local count cannot represent them
+    /// — so adaptive metrics imply the oracle ("G") estimation mode. The
+    /// default (no signals) path dispatches exactly as before.
     pub fn build(&self, n: usize, shared: &SharedLoads) -> Estimate {
+        if shared.signals().is_some() {
+            return Estimate::global(shared.clone());
+        }
         match *self {
             EstimateKind::Local => Estimate::local(n),
             EstimateKind::Global => Estimate::global(shared.clone()),
@@ -178,7 +237,9 @@ impl Estimate {
     pub fn load(&mut self, w: usize, ts_ms: u64) -> u64 {
         match self {
             Estimate::Local(v) => v[w],
-            Estimate::Global(s) => s.load(w),
+            // The shared signal degenerates to the raw load whenever no
+            // signal state is attached — today's oracle, byte-identical.
+            Estimate::Global(s) => s.signal(w),
             Estimate::Probing { local, shared, period_ms, next_probe_ms } => {
                 if ts_ms >= *next_probe_ms {
                     for (l, w_id) in local.iter_mut().zip(0..) {
@@ -281,6 +342,46 @@ mod tests {
         // Uniform weights collapse — the homogeneous fast path stays.
         assert!(SharedLoads::new(3).with_capacities(&[2.0, 2.0, 2.0]).capacities().is_none());
         assert!(SharedLoads::new(2).capacities().is_none());
+    }
+
+    #[test]
+    fn default_signals_collapse_and_signal_is_the_load() {
+        let s = SharedLoads::new(3).with_signals(LoadMetricKind::TupleCount, None);
+        assert!(s.signals().is_none(), "TupleCount + no estimator must attach nothing");
+        assert_eq!(s.metric_label(), "count");
+        s.record(1);
+        assert_eq!(s.signal(1), s.load(1));
+        // The default path still builds per-kind estimates.
+        assert!(matches!(EstimateKind::Local.build(3, &s), Estimate::Local(_)));
+    }
+
+    #[test]
+    fn attached_signals_force_global_estimation() {
+        let s = SharedLoads::new(3).with_signals(LoadMetricKind::PendingRequests, None);
+        assert!(s.signals().is_some());
+        assert_eq!(s.metric_label(), "pending");
+        for kind in
+            [EstimateKind::Local, EstimateKind::Global, EstimateKind::Probing { period_ms: 1_000 }]
+        {
+            assert!(
+                matches!(kind.build(3, &s), Estimate::Global(_)),
+                "adaptive signals are shared feedback: {kind:?} must go global"
+            );
+        }
+    }
+
+    #[test]
+    fn global_estimate_reads_the_pluggable_signal() {
+        let s = SharedLoads::new(2).with_signals(LoadMetricKind::PendingRequests, None);
+        let sig = s.signals().expect("attached").clone();
+        let mut e = Estimate::global(s.clone());
+        s.record(0); // counts don't move the pending metric
+        assert_eq!(e.load(0, 0), 0);
+        sig.dispatch(0);
+        sig.dispatch(0);
+        assert_eq!(e.load(0, 0), 2);
+        sig.complete(0, 0);
+        assert_eq!(e.load(0, 0), 1);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod pkg;
 pub mod potc;
 pub mod replication;
 pub mod shuffle;
+pub mod signals;
 
 pub use choice::{AdaptiveChoices, ChoiceConfig, ChoiceStrategy, DEFAULT_EPSILON};
 pub use estimator::{Estimate, EstimateKind, SharedLoads};
@@ -64,3 +65,4 @@ pub use pkg::PartialKeyGrouping;
 pub use potc::StaticPotc;
 pub use replication::ReplicationTracker;
 pub use shuffle::ShuffleGrouping;
+pub use signals::SharedSignals;

@@ -70,10 +70,122 @@ impl DriftState {
     }
 }
 
+/// Piecewise-constant per-worker *speed* drift over stream time.
+///
+/// Where [`DriftState`] shifts the key distribution (Q3), `SpeedDrift`
+/// shifts the *cluster*: each phase assigns every worker a relative speed
+/// factor (1.0 = nominal), and a worker's emulated service time scales by
+/// `1/speed`. This is the driver for the capacity-drift experiments
+/// (`fig_drift`): a mid-run 4× slowdown of one worker is a two-phase
+/// schedule `[1,1,…] → [0.25,1,…]`. Deterministic — no RNG — so both the
+/// simulator and the engine replay the same schedule exactly.
+#[derive(Debug, Clone)]
+pub struct SpeedDrift {
+    /// `(start_ms, per-worker speed factors)`, ascending by `start_ms`;
+    /// the first phase starts at 0.
+    phases: Vec<(u64, Vec<f64>)>,
+}
+
+impl SpeedDrift {
+    /// A schedule opening with `initial` per-worker speed factors at t=0.
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty or any factor is non-finite or ≤ 0.
+    pub fn new(initial: Vec<f64>) -> Self {
+        assert!(!initial.is_empty(), "speed drift needs at least one worker");
+        assert!(
+            initial.iter().all(|s| s.is_finite() && *s > 0.0),
+            "speed factors must be positive and finite"
+        );
+        Self { phases: vec![(0, initial)] }
+    }
+
+    /// Uniform nominal speed for `n` workers.
+    pub fn uniform(n: usize) -> Self {
+        Self::new(vec![1.0; n])
+    }
+
+    /// Append a phase: from `at_ms` on, the workers run at `speeds`.
+    ///
+    /// # Panics
+    /// Panics if `at_ms` does not strictly ascend, `speeds.len()` differs
+    /// from the worker count, or any factor is non-positive/non-finite.
+    pub fn with_step(mut self, at_ms: u64, speeds: Vec<f64>) -> Self {
+        let (last_ms, last) = &self.phases[self.phases.len() - 1];
+        assert!(at_ms > *last_ms, "phase starts must strictly ascend");
+        assert_eq!(speeds.len(), last.len(), "one speed factor per worker");
+        assert!(
+            speeds.iter().all(|s| s.is_finite() && *s > 0.0),
+            "speed factors must be positive and finite"
+        );
+        self.phases.push((at_ms, speeds));
+        self
+    }
+
+    /// Number of workers covered.
+    pub fn n(&self) -> usize {
+        self.phases[0].1.len()
+    }
+
+    /// Number of phases (≥ 1).
+    pub fn phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Index of the phase active at `ts_ms`.
+    pub fn phase_at(&self, ts_ms: u64) -> usize {
+        self.phases.iter().rposition(|(start, _)| *start <= ts_ms).unwrap_or(0)
+    }
+
+    /// Speed factor of worker `w` at `ts_ms`.
+    pub fn speed(&self, w: usize, ts_ms: u64) -> f64 {
+        self.phases[self.phase_at(ts_ms)].1.get(w).copied().unwrap_or(1.0)
+    }
+
+    /// The full speed vector of phase `i`.
+    pub fn speeds_of_phase(&self, i: usize) -> &[f64] {
+        &self.phases[i.min(self.phases.len() - 1)].1
+    }
+
+    /// Whether every phase runs every worker at the same speed (a uniform
+    /// schedule must leave runs byte-identical to no schedule at all).
+    pub fn is_uniform(&self) -> bool {
+        self.phases.iter().all(|(_, speeds)| {
+            speeds.windows(2).all(|p| (p[0] - p[1]).abs() <= f64::EPSILON * p[0].abs())
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn speed_drift_phases_switch_at_their_start() {
+        let d = SpeedDrift::uniform(4).with_step(500, vec![0.25, 1.0, 1.0, 1.0]);
+        assert_eq!(d.phases(), 2);
+        assert_eq!(d.phase_at(0), 0);
+        assert_eq!(d.phase_at(499), 0);
+        assert_eq!(d.phase_at(500), 1);
+        assert_eq!(d.speed(0, 499), 1.0);
+        assert_eq!(d.speed(0, 500), 0.25);
+        assert_eq!(d.speed(1, 9_999), 1.0);
+        assert!(!d.is_uniform());
+    }
+
+    #[test]
+    fn uniform_schedule_is_flagged_uniform() {
+        assert!(SpeedDrift::uniform(8).is_uniform());
+        assert!(SpeedDrift::uniform(8).with_step(100, vec![2.0; 8]).is_uniform());
+        assert!(!SpeedDrift::new(vec![1.0, 2.0]).is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn phase_starts_must_ascend() {
+        let _ = SpeedDrift::uniform(2).with_step(100, vec![1.0; 2]).with_step(100, vec![1.0; 2]);
+    }
 
     #[test]
     fn identity_before_first_epoch() {

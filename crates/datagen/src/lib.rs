@@ -37,5 +37,6 @@ pub mod stream;
 pub mod text;
 pub mod zipf;
 
+pub use drift::SpeedDrift;
 pub use profiles::DatasetProfile;
 pub use stream::{Message, StreamSpec};

@@ -7,6 +7,7 @@ use crate::ingress::{DepthGauge, HedgeState};
 use crate::sync::Arc;
 use crate::tuple::{Packet, Tuple};
 use crossbeam::channel::Sender;
+use pkg_core::SharedLoads;
 use pkg_hash::FxHashMap;
 
 /// A stream operator (Storm's bolt).
@@ -75,6 +76,13 @@ pub(crate) struct OutEdge {
     /// Hedged-dispatch state; `Some` only on spout out-edges when the
     /// ingress layer enables hedging.
     pub(crate) hedge: Option<HedgeState>,
+    /// Destination component's shared load signals, when
+    /// [`crate::load::LoadSignalOptions`] attached any. The router inside
+    /// this edge then carries [`pkg_core::Estimate::Global`] handles onto
+    /// the same vector, so every sender minimizes the same pluggable
+    /// signal; counts and in-flight dispatches are recorded here at emit
+    /// time (global estimates make `Estimate::record` a no-op).
+    pub(crate) signals: Option<SharedLoads>,
 }
 
 impl OutEdge {
@@ -191,7 +199,18 @@ impl Emitter<'_> {
 
     /// Route and deliver one owned tuple on one edge.
     fn emit_on(edge: &mut OutEdge, sink: &mut Sink<'_>, now_ns: u64, key_id: u64, tuple: Tuple) {
-        let OutEdge { router, tx, depths, hedge } = edge;
+        let OutEdge { router, tx, depths, hedge, signals } = edge;
+        // Count + in-flight bookkeeping for one routed delivery, mirroring
+        // the simulator's `record` ordering: after the route decision,
+        // before the next one. No-op on edges without attached signals.
+        let note = |signals: &Option<SharedLoads>, w: usize| {
+            if let Some(sl) = signals {
+                sl.record(w);
+                if let Some(s) = sl.signals() {
+                    s.dispatch(w);
+                }
+            }
+        };
         // Elastic edges: if this tuple crosses a membership threshold,
         // announce the new epoch in-band to every downstream instance
         // *before* routing it under the new live set. Markers are control
@@ -221,20 +240,25 @@ impl Emitter<'_> {
                             // stage drops whichever copy arrives second.
                             let mut tagged = tuple;
                             tagged.payload = pkg_ingress::hedge::encode_tag(state.next_id());
+                            note(signals, alt);
                             sink.deliver(tx, depths, alt, Packet::Tuple(tagged.clone()));
+                            note(signals, w);
                             sink.deliver(tx, depths, w, Packet::Tuple(tagged));
                             return;
                         }
                     }
                 }
+                note(signals, w);
                 sink.deliver(tx, depths, w, Packet::Tuple(tuple));
             }
             Target::All => {
                 let n = tx.fanout();
                 for w in 1..n {
+                    note(signals, w);
                     sink.deliver(tx, depths, w, Packet::Tuple(tuple.clone()));
                 }
                 if n > 0 {
+                    note(signals, 0);
                     sink.deliver(tx, depths, 0, Packet::Tuple(tuple));
                 }
             }

@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use pkg_core::SharedLoads;
 use pkg_metrics::LatencyHistogram;
 
 use crate::bolt::{Bolt, EdgeTx, Emitter, OutEdge, Sink};
@@ -143,6 +144,7 @@ pub(crate) fn run_bolt(
     epoch: Instant,
     stall_scale: f64,
     gauge: Option<Arc<DepthGauge>>,
+    signals: Option<SharedLoads>,
 ) -> InstanceStats {
     let mut processed = 0u64;
     let mut emitted = 0u64;
@@ -210,8 +212,17 @@ pub(crate) fn run_bolt(
                     stall_scale,
                     stalled_ns: 0,
                 };
-                bolt.execute(tuple, &mut em);
-                stalled_ns += em.stalled_ns;
+                let tuple_stalled = {
+                    bolt.execute(tuple, &mut em);
+                    em.stalled_ns
+                };
+                // Feed the load signals: this tuple is no longer in flight,
+                // and its capacity-scaled service time is the latency sample
+                // for Peak-EWMA and the online capacity estimator.
+                if let Some(s) = signals.as_ref().and_then(SharedLoads::signals) {
+                    s.complete(instance, tuple_stalled);
+                }
+                stalled_ns += tuple_stalled;
                 processed += 1;
             }
             Packet::Eof => {

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use pkg_core::{
     AdaptiveChoices, ChoiceConfig, ChoiceStrategy, Estimate, HotAwarePkg, PartialKeyGrouping,
-    Partitioner as _, DEFAULT_EPSILON,
+    Partitioner as _, SharedLoads, DEFAULT_EPSILON,
 };
 use pkg_elastic::MembershipPlan;
 
@@ -205,29 +205,46 @@ impl Router {
     ///
     /// `seed` must be shared by all senders on the edge (so they agree on
     /// hash candidates); `sender_index` staggers shuffle's round-robin.
+    /// Load-consulting groupings estimate locally — the paper's default.
     pub fn new(grouping: &Grouping, n: usize, seed: u64, sender_index: usize) -> Self {
+        Self::with_shared(grouping, n, seed, sender_index, None)
+    }
+
+    /// Like [`Router::new`], but when `shared` is given the load-consulting
+    /// groupings minimize its pluggable load *signal* instead of a local
+    /// tuple count. Pending/latency signals are shared feedback by nature,
+    /// so adaptive metrics imply global estimation; `None` keeps the
+    /// paper's local estimation byte-identically.
+    pub fn with_shared(
+        grouping: &Grouping,
+        n: usize,
+        seed: u64,
+        sender_index: usize,
+        shared: Option<&SharedLoads>,
+    ) -> Self {
         assert!(n > 0, "edges need at least one downstream instance");
+        let estimate = || match shared {
+            Some(s) => {
+                assert_eq!(s.n(), n, "shared loads must cover every downstream instance");
+                Estimate::global(s.clone())
+            }
+            None => Estimate::local(n),
+        };
         let kind = match grouping {
             Grouping::Shuffle => RouterKind::Shuffle { next: sender_index % n },
             Grouping::Key => RouterKind::Key { seed },
-            Grouping::Partial { d } => RouterKind::Partial {
-                pkg: PartialKeyGrouping::new(n, *d, Estimate::local(n), seed),
-            },
+            Grouping::Partial { d } => {
+                RouterKind::Partial { pkg: PartialKeyGrouping::new(n, *d, estimate(), seed) }
+            }
             Grouping::PartialHot { hot_threshold, d_hot } => RouterKind::PartialHot {
-                pkg: HotAwarePkg::new(
-                    n,
-                    Estimate::local(n),
-                    *hot_threshold,
-                    (*d_hot).min(n).max(2),
-                    seed,
-                ),
+                pkg: HotAwarePkg::new(n, estimate(), *hot_threshold, (*d_hot).min(n).max(2), seed),
             },
             Grouping::DChoices { epsilon } => RouterKind::Adaptive {
                 choices: AdaptiveChoices::new(
                     n,
                     ChoiceStrategy::DChoices,
                     ChoiceConfig::new(*epsilon),
-                    Estimate::local(n),
+                    estimate(),
                     seed,
                 ),
             },
@@ -236,7 +253,7 @@ impl Router {
                     n,
                     ChoiceStrategy::WChoices,
                     ChoiceConfig::new(*epsilon),
-                    Estimate::local(n),
+                    estimate(),
                     seed,
                 ),
             },

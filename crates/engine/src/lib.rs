@@ -42,6 +42,7 @@ pub mod elastic;
 pub mod executor;
 pub mod grouping;
 pub mod ingress;
+pub mod load;
 pub mod metrics;
 pub(crate) mod pool;
 pub mod ring;
@@ -58,6 +59,7 @@ pub mod prelude {
     pub use crate::elastic::{MigrationBus, MigrationMsg};
     pub use crate::grouping::Grouping;
     pub use crate::ingress::IngressOptions;
+    pub use crate::load::LoadSignalOptions;
     pub use crate::runtime::{ExecutorMode, InstanceCapacities, Runtime, RuntimeOptions};
     pub use crate::spout::{spout_from_fn, spout_from_iter, Spout};
     pub use crate::topology::Topology;
@@ -68,6 +70,7 @@ pub use bolt::{Bolt, Emitter};
 pub use elastic::{MigrationBus, MigrationMsg, EPOCH_MARKER_KEY};
 pub use grouping::Grouping;
 pub use ingress::IngressOptions;
+pub use load::LoadSignalOptions;
 pub use metrics::{InstanceStats, RunStats};
 pub use runtime::{edge_seed, ExecutorMode, InstanceCapacities, Runtime, RuntimeOptions};
 pub use spout::Spout;

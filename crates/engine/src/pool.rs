@@ -57,6 +57,7 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 use crossbeam::deque::{Steal, WorkStealingDeque};
+use pkg_core::SharedLoads;
 use pkg_metrics::LatencyHistogram;
 
 use crate::bolt::{Bolt, EdgeTx, Emitter, OutEdge, Sink};
@@ -170,6 +171,11 @@ struct TaskBody {
     /// High-water mark of this task's own mailbox depth, copied from the
     /// producer-maintained `TaskSlot::depth_high` when the task completes.
     max_depth: u64,
+    /// This task's *own* component's shared load signals, when
+    /// [`crate::load::LoadSignalOptions`] attached any: bolt tasks feed a
+    /// completion (with the tuple's capacity-scaled service time) per
+    /// executed tuple. Dispatch-side bookkeeping lives on the out-edges.
+    signals: Option<SharedLoads>,
 }
 
 impl TaskBody {
@@ -179,6 +185,7 @@ impl TaskBody {
         kind: TaskKind,
         edges: Vec<OutEdge>,
         stall_scale: f64,
+        signals: Option<SharedLoads>,
     ) -> Self {
         Self {
             component,
@@ -200,6 +207,7 @@ impl TaskBody {
             sampler: StateSampler::default(),
             final_state: 0,
             max_depth: 0,
+            signals,
         }
     }
 
@@ -567,6 +575,7 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
         return Outcome::Done;
     }
     let TaskBody {
+        instance,
         kind,
         edges,
         outbox,
@@ -582,14 +591,22 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
         latency,
         sampler,
         final_state,
+        signals,
         ..
     } = body;
     let stall_scale = *stall_scale;
     match kind {
         TaskKind::Spout { spout, exhausted, ingress } => {
+            // Attached load signals force the per-tuple path: `route_batch`
+            // makes all its decisions before any count is recorded, which
+            // under a shared global estimate would dump the whole batch on
+            // one argmin destination. The per-tuple emitter records after
+            // each route, matching the simulator's (and the thread
+            // executor's) interleaving exactly.
             if !*exhausted
                 && edges.len() == 1
                 && edges[0].router.is_batchable()
+                && edges[0].signals.is_none()
                 && ingress.is_none()
             {
                 // Batched hot path: generate up to a quantum of tuples,
@@ -800,7 +817,14 @@ fn activate(shared: &Shared, tid: usize, body: &mut TaskBody) -> Outcome {
                         };
                         bolt.execute(tuple, &mut em);
                         let stall_ns = em.deferred_ns;
-                        *stalled_ns += em.stalled_ns;
+                        let tuple_stalled = em.stalled_ns;
+                        // Feed the load signals: one in-flight tuple done,
+                        // its capacity-scaled service time is the latency
+                        // sample for Peak-EWMA and the capacity estimator.
+                        if let Some(s) = signals.as_ref().and_then(SharedLoads::signals) {
+                            s.complete(*instance, tuple_stalled);
+                        }
+                        *stalled_ns += tuple_stalled;
                         *processed += 1;
                         let blocked = !outbox.is_empty() && !deliver_outbox(shared, tid, outbox);
                         if stall_ns > 0 {
@@ -1041,6 +1065,7 @@ pub(crate) fn run_pool(
     capacities: &crate::runtime::InstanceCapacities,
     spsc_rings: bool,
     ingress: Option<&IngressOptions>,
+    load: Option<&crate::load::LoadSignalOptions>,
 ) -> RunStats {
     // Pool mailboxes are asynchronous queues with no rendezvous mode: a
     // capacity-0 mailbox could never accept a packet and every producer
@@ -1050,6 +1075,10 @@ pub(crate) fn run_pool(
     let n_components = topology.components.len();
     let out_edges = crate::runtime::build_out_edges(topology, seed);
     let upstream = crate::runtime::upstream_sender_counts(topology);
+    // Shared load signals per destination component — the same helper the
+    // thread executor uses, so both executors route on identical state.
+    let parallelism: Vec<usize> = topology.components.iter().map(|c| c.parallelism).collect();
+    let component_shared = crate::load::component_signals(load, &out_edges, &parallelism);
     let mut first_task = Vec::with_capacity(n_components);
     let mut total_instances = 0usize;
     for c in &topology.components {
@@ -1074,11 +1103,12 @@ pub(crate) fn run_pool(
             let edges: Vec<OutEdge> = out_edges[ci]
                 .iter()
                 .map(|(to, grouping, edge_seed)| OutEdge {
-                    router: Router::new(
+                    router: Router::with_shared(
                         grouping,
                         topology.components[*to].parallelism,
                         *edge_seed,
                         i,
+                        component_shared[*to].as_ref(),
                     ),
                     tx: {
                         let dests = (0..topology.components[*to].parallelism)
@@ -1101,6 +1131,7 @@ pub(crate) fn run_pool(
                             .map(|budget| HedgeState::new(budget, (ci as u64) << 16 | i as u64)),
                         _ => None,
                     },
+                    signals: component_shared[*to].clone(),
                 })
                 .collect();
             let (kind, mailbox, initial_state) = match &c.kind {
@@ -1150,6 +1181,7 @@ pub(crate) fn run_pool(
                     kind,
                     edges,
                     capacities.stall_scale(&c.name, i),
+                    component_shared[ci].clone(),
                 )))),
             });
         }

@@ -249,7 +249,7 @@ impl Bolt for OrderBolt {
 }
 
 fn blank_body(component: &str, kind: TaskKind, edges: Vec<OutEdge>) -> TaskBody {
-    TaskBody::new(component.to_owned(), 0, kind, edges, 1.0)
+    TaskBody::new(component.to_owned(), 0, kind, edges, 1.0, None)
 }
 
 /// Spout (3 tuples) → capacity-1 mailbox → sink bolt: every second emission
@@ -264,6 +264,7 @@ fn spill_fixture(seen: Arc<StdMutex<Vec<i64>>>, workers: usize, ring: bool) -> S
         tx,
         depths: Vec::new(),
         hedge: None,
+        signals: None,
     }];
     let spout_kind = TaskKind::Spout {
         spout: spout_from_iter((1..=3).map(|v| Tuple::new(*b"k", v))),

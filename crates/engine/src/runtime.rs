@@ -138,6 +138,14 @@ pub struct RuntimeOptions {
     /// [`crate::ingress`]). `None` (the default) disables it entirely —
     /// the spout path is then byte-for-byte the pre-ingress code path.
     pub ingress: Option<IngressOptions>,
+    /// Pluggable load signals for the load-consulting groupings (see
+    /// [`crate::load::LoadSignalOptions`]): which signal they minimize
+    /// (tuple count, in-flight tuples, Peak-EWMA service latency) and
+    /// whether an online capacity estimator rescales it from observed
+    /// service times. `None` (the default) — and the degenerate
+    /// `TupleCount`-without-estimator configuration — keep the original
+    /// per-sender local-count path byte-for-byte.
+    pub load: Option<crate::load::LoadSignalOptions>,
 }
 
 impl Default for RuntimeOptions {
@@ -149,6 +157,7 @@ impl Default for RuntimeOptions {
             capacities: InstanceCapacities::uniform(),
             spsc_rings: true,
             ingress: None,
+            load: None,
         }
     }
 }
@@ -221,6 +230,7 @@ impl Runtime {
                 &self.opts.capacities,
                 self.opts.spsc_rings,
                 self.opts.ingress.as_ref(),
+                self.opts.load.as_ref(),
             ),
         }
     }
@@ -259,6 +269,14 @@ impl Runtime {
         let out_edges = build_out_edges(&topology, self.opts.seed);
         let upstream_senders = upstream_sender_counts(&topology);
 
+        // Shared load signals per destination component (None everywhere
+        // unless `RuntimeOptions::load` selects a non-default signal); the
+        // same helper feeds the pool executor, so the two executors route
+        // on identical signal state.
+        let parallelism: Vec<usize> = topology.components.iter().map(|c| c.parallelism).collect();
+        let component_shared =
+            crate::load::component_signals(self.opts.load.as_ref(), &out_edges, &parallelism);
+
         // One depth gauge per bolt instance: every upstream sender
         // increments on delivery, the owning bolt decrements on receipt.
         // Always on — they feed `InstanceStats::max_depth` and, when the
@@ -290,11 +308,12 @@ impl Runtime {
                 let edges: Vec<OutEdge> = out_edges[ci]
                     .iter()
                     .map(|(to, grouping, edge_seed)| OutEdge {
-                        router: Router::new(
+                        router: Router::with_shared(
                             grouping,
                             topology.components[*to].parallelism,
                             *edge_seed,
                             i,
+                            component_shared[*to].as_ref(),
                         ),
                         tx: EdgeTx::Channels(
                             txs[*to]
@@ -312,6 +331,7 @@ impl Runtime {
                             }),
                             _ => None,
                         },
+                        signals: component_shared[*to].clone(),
                     })
                     .collect();
                 let name = c.name.clone();
@@ -337,6 +357,7 @@ impl Runtime {
                         let eof = upstream_senders[ci];
                         let tick = c.tick_every;
                         let gauge = Some(Arc::clone(&gauges[ci][i]));
+                        let own_signals = component_shared[ci].clone();
                         handles.push(std::thread::spawn(move || {
                             let s = run_bolt(
                                 name,
@@ -349,6 +370,7 @@ impl Runtime {
                                 epoch,
                                 stall_scale,
                                 gauge,
+                                own_signals,
                             );
                             if stats_tx.send(s).is_err() {
                                 unreachable!("stats channel outlives executors");
@@ -911,6 +933,80 @@ mod tests {
         // Re-setting a component replaces its weights.
         let caps = caps.with("stall", &[4.0]);
         assert_eq!(caps.weight("stall", 0), 4.0);
+    }
+
+    #[test]
+    fn load_signal_default_collapses_to_exact_baseline_routing() {
+        // `TupleCount` with no estimator is the degenerate configuration:
+        // `component_signals` attaches nothing and every router takes the
+        // pre-existing local-estimation path — loads must be byte-identical
+        // to a run with `load: None`, under both executors.
+        let build = || {
+            let mut t = Topology::new();
+            let s = t.add_spout("src", 2, |_| spout_from_iter(word_stream(3_000, 19)));
+            let _ = t
+                .add_bolt("count", 4, |_| Box::new(CountingBolt::default()))
+                .input(s, Grouping::partial_key());
+            t
+        };
+        for executor in
+            [ExecutorMode::ThreadPerInstance, ExecutorMode::Pool { workers: 2, batch: 32 }]
+        {
+            let run = |load| {
+                Runtime::with_options(RuntimeOptions {
+                    channel_capacity: 64,
+                    seed: 13,
+                    executor,
+                    load,
+                    ..RuntimeOptions::default()
+                })
+                .run(build())
+            };
+            let base = run(None);
+            let collapsed = run(Some(crate::load::LoadSignalOptions::metric(
+                pkg_metrics::LoadMetricKind::TupleCount,
+            )));
+            assert_eq!(collapsed.loads("count"), base.loads("count"));
+            assert_eq!(collapsed.processed("count"), 6_000);
+        }
+    }
+
+    #[test]
+    fn adaptive_signals_shed_load_from_a_slow_instance() {
+        // Four stalling instances behind PKG; instance 0 is a quarter-speed
+        // machine (its charged service time is 4×). Count-greedy routing is
+        // capacity-blind and splits evenly; the Peak-EWMA signal observes
+        // the 4× latency and sheds load from the slow instance.
+        let caps = InstanceCapacities::uniform().with("stall", &[0.25]);
+        let build = || {
+            let mut t = Topology::new();
+            let s = t.add_spout("src", 1, |_| spout_from_iter(word_stream(3_000, 997)));
+            let _ = t
+                .add_bolt("stall", 4, |_| {
+                    Box::new(StallBolt { per_tuple: Duration::from_micros(50), seen: 0 })
+                })
+                .input(s, Grouping::partial_key());
+            t
+        };
+        let run = |load| {
+            Runtime::with_options(RuntimeOptions {
+                channel_capacity: 16,
+                seed: 17,
+                capacities: caps.clone(),
+                load,
+                ..RuntimeOptions::default()
+            })
+            .run(build())
+        };
+        let adaptive = run(Some(crate::load::LoadSignalOptions::adaptive()));
+        let static_run = run(None);
+        let (a, s) = (adaptive.loads("stall"), static_run.loads("stall"));
+        assert_eq!(a.iter().sum::<u64>(), 3_000);
+        assert_eq!(s.iter().sum::<u64>(), 3_000);
+        assert!(
+            a[0] * 2 < s[0],
+            "peak-ewma routing kept loading the slow instance: adaptive {a:?} vs static {s:?}"
+        );
     }
 
     #[test]

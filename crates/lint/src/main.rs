@@ -40,10 +40,13 @@ const PANIC_RULE_EXEMPT: [&str; 2] =
 /// both must reach `std` only through their crate's cfg-switched facade
 /// (`crate::sync` in the engine, `crate::atomic` in vendored crossbeam).
 /// The engine's ingress wiring shares types with the pool (depth gauges
-/// flow into shed decisions), so it is held to the same facade.
-const FACADE_FILES: [&str; 6] = [
+/// flow into shed decisions), so it is held to the same facade; likewise
+/// the load-signal wiring (`load.rs`), whose shared state is read and fed
+/// inside pool activations.
+const FACADE_FILES: [&str; 7] = [
     "crates/engine/src/elastic.rs",
     "crates/engine/src/ingress.rs",
+    "crates/engine/src/load.rs",
     "crates/engine/src/pool.rs",
     "crates/engine/src/ring.rs",
     "crates/engine/src/timer.rs",
@@ -639,6 +642,16 @@ mod tests {
         let src = "use std::sync::Mutex;\nfn f() {}\n";
         let v = lint("crates/engine/src/ingress.rs", src);
         assert!(v.iter().any(|v| v.contains("[facade]")), "{v:?}");
+    }
+
+    #[test]
+    fn engine_load_signals_are_facade_and_panic_covered() {
+        let src = "use std::sync::Arc;\nfn f() {}\n";
+        let v = lint("crates/engine/src/load.rs", src);
+        assert!(v.iter().any(|v| v.contains("[facade]")), "{v:?}");
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let v = lint("crates/engine/src/load.rs", src);
+        assert!(v.iter().any(|v| v.contains("[panic]")), "{v:?}");
     }
 
     #[test]

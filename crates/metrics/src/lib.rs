@@ -23,21 +23,33 @@
 //! relative to what each worker can absorb (`max_i L_i/c_i − avg`); with
 //! uniform capacities every weighted quantity degenerates exactly to its
 //! unweighted counterpart.
+//!
+//! [`load_metric::LoadMetric`] makes the *minimized signal itself*
+//! pluggable (tuple count, in-flight depth, Peak-EWMA latency), and
+//! [`capacity_estimator::CapacityEstimator`] re-derives capacity weights
+//! online from observed service rates — see the module docs for the
+//! byte-identity contracts both uphold in their default/uniform regimes.
 
 #![forbid(unsafe_code)]
 
 pub mod capacity;
+pub mod capacity_estimator;
 pub mod histogram;
 pub mod imbalance;
 pub mod load;
+pub mod load_metric;
 pub mod throughput;
 pub mod timeseries;
 pub mod welford;
 
 pub use capacity::{prefers, weighted_imbalance, weighted_imbalance_fraction, Capacities};
+pub use capacity_estimator::{CapacityEstimator, DEFAULT_ESTIMATOR_WINDOW};
 pub use histogram::LatencyHistogram;
 pub use imbalance::{imbalance, imbalance_fraction, worst_case_imbalance};
 pub use load::LoadVector;
+pub use load_metric::{
+    peak_ewma_step, LoadMetric, LoadMetricKind, LoadObservation, DEFAULT_PEAK_EWMA_WINDOW,
+};
 pub use throughput::ThroughputMeter;
 pub use timeseries::TimeSeries;
 pub use welford::Welford;

@@ -35,7 +35,9 @@ pub mod source;
 pub mod sweep;
 
 pub use aggregation::AggregationSim;
-pub use report::{AggregationStats, EpochStats, ReplicationStats, SimReport};
-pub use simulation::{run, SimConfig};
+pub use report::{
+    AggregationStats, DriftStats, EpochStats, PhaseStats, ReplicationStats, SimReport,
+};
+pub use simulation::{run, ServiceProfile, SimConfig};
 pub use source::SourceAssignment;
 pub use sweep::run_parallel;

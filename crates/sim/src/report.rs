@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use pkg_metrics::TimeSeries;
+use pkg_metrics::{Capacities, TimeSeries};
 
 /// Key-replication summary (memory-overhead proxy; §III example).
 #[derive(Debug, Clone)]
@@ -73,6 +73,45 @@ pub struct EpochStats {
     pub band: f64,
 }
 
+/// Per-phase load accounting of a speed-drift run (produced when
+/// [`crate::SimConfig`] carries a service profile). One entry per
+/// [`pkg_datagen::SpeedDrift`] phase, in order.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase index into the drift schedule.
+    pub phase: usize,
+    /// Messages routed during the phase.
+    pub messages: u64,
+    /// Per-worker loads accumulated *during this phase only*.
+    pub loads: Vec<u64>,
+    /// The true per-worker speed factors of the phase.
+    pub speeds: Vec<f64>,
+}
+
+impl PhaseStats {
+    /// Capacity-weighted imbalance of this phase's loads against the
+    /// phase's **true** speeds (`max_i L_i/s_i − avg`): the honest score
+    /// for "did routing track the real cluster". Goes through
+    /// [`Capacities::heterogeneous`] so uniform phases degenerate exactly
+    /// to the unweighted imbalance — no mixed-unit comparisons.
+    pub fn weighted_imbalance(&self) -> f64 {
+        let caps = Capacities::heterogeneous(&self.speeds);
+        pkg_metrics::weighted_imbalance(&self.loads, caps.as_ref())
+    }
+}
+
+/// Speed-drift outcome: per-phase loads plus the state of the online
+/// capacity estimator at end of run.
+#[derive(Debug, Clone)]
+pub struct DriftStats {
+    /// One entry per drift phase, in schedule order.
+    pub phases: Vec<PhaseStats>,
+    /// Completed estimator windows (0 when no estimator was attached).
+    pub estimator_rotations: u64,
+    /// The estimator's final weight vector (empty when none attached).
+    pub estimator_weights: Vec<f64>,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -124,6 +163,11 @@ pub struct SimReport {
     pub aggregation: Option<AggregationStats>,
     /// Per-epoch re-convergence stats, when a membership plan was set.
     pub epochs: Option<Vec<EpochStats>>,
+    /// Label of the load metric the schemes minimized (`"count"`,
+    /// `"pending"`, `"peak_ewma"`).
+    pub load_metric: String,
+    /// Speed-drift stats, when a service profile was configured.
+    pub drift: Option<DriftStats>,
     /// Wall-clock duration of the simulation.
     pub wall_time: Duration,
 }
@@ -131,7 +175,17 @@ pub struct SimReport {
 impl SimReport {
     /// Header for [`Self::tsv_row`].
     pub fn tsv_header() -> &'static str {
-        "dataset\tscheme\tworkers\tsources\tmessages\tavg_imbalance\tfinal_imbalance\tavg_fraction\tfinal_fraction\tavg_wimbalance\tfinal_wimbalance\tavg_wfraction\tfinal_wfraction\tcapacities\tavg_replication\ttotal_pairs\tagg_period_ms\tmerge_msgs\tmerge_fraction\tavg_worker_window\tavg_agg_keys\tstaleness_ms"
+        // New columns are appended at the END so older row parsers that
+        // index from the left keep working.
+        "dataset\tscheme\tworkers\tsources\tmessages\tavg_imbalance\tfinal_imbalance\tavg_fraction\tfinal_fraction\tavg_wimbalance\tfinal_wimbalance\tavg_wfraction\tfinal_wfraction\tcapacities\tavg_replication\ttotal_pairs\tagg_period_ms\tmerge_msgs\tmerge_fraction\tavg_worker_window\tavg_agg_keys\tstaleness_ms\tload_metric\tdrift_phases"
+    }
+
+    /// Total load of a contiguous worker range — the accessor bench
+    /// drivers use instead of slicing [`Self::worker_loads`] directly (the
+    /// raw vector is in tuple counts; summing through one accessor keeps
+    /// every consumer in the same units).
+    pub fn load_sum(&self, workers: std::ops::Range<usize>) -> u64 {
+        self.worker_loads[workers].iter().sum()
     }
 
     /// One tab-separated row (capacity, replication and aggregation columns
@@ -157,8 +211,12 @@ impl SimReport {
             ),
             None => "\t\t\t\t\t".to_string(),
         };
+        let drift_phases = match &self.drift {
+            Some(d) => d.phases.len().to_string(),
+            None => String::new(),
+        };
         format!(
-            "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{}\t{}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{:.4}\t{:.4}\t{:.3e}\t{:.3e}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.dataset,
             self.scheme,
             self.workers,
@@ -175,7 +233,9 @@ impl SimReport {
             caps,
             avg_rep,
             pairs,
-            agg
+            agg,
+            self.load_metric,
+            drift_phases
         )
     }
 }

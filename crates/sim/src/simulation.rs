@@ -1,16 +1,43 @@
 //! The simulation loop: play a stream through sources and a partitioning
 //! scheme, tracking worker loads and imbalance.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pkg_core::{KeyFrequencies, Partitioner, ReplicationTracker, SchemeSpec, SharedLoads};
-use pkg_datagen::StreamSpec;
+use pkg_datagen::{SpeedDrift, StreamSpec};
 use pkg_elastic::MembershipPlan;
-use pkg_metrics::{LoadVector, TimeSeries, Welford};
+use pkg_metrics::{CapacityEstimator, LoadMetricKind, LoadVector, TimeSeries, Welford};
 
 use crate::aggregation::AggregationSim;
-use crate::report::{EpochStats, ReplicationStats, SimReport};
+use crate::report::{DriftStats, EpochStats, PhaseStats, ReplicationStats, SimReport};
 use crate::source::{SourceAssigner, SourceAssignment};
+
+/// Emulated per-worker service times for a run: a nominal per-tuple cost
+/// scaled by a [`SpeedDrift`] schedule. This is what feeds latency
+/// observations (and through them the capacity estimator) in the simulator,
+/// where tuples otherwise complete instantaneously.
+#[derive(Debug, Clone)]
+pub struct ServiceProfile {
+    /// Nominal service time per tuple at speed 1.0, nanoseconds.
+    pub base_ns: u64,
+    /// The per-worker speed schedule.
+    pub drift: SpeedDrift,
+}
+
+impl ServiceProfile {
+    /// A profile over `drift` with `base_ns` nominal cost per tuple.
+    pub fn new(base_ns: u64, drift: SpeedDrift) -> Self {
+        assert!(base_ns > 0, "service time must be positive");
+        Self { base_ns, drift }
+    }
+
+    /// Emulated service time of one tuple on worker `w` at stream time
+    /// `ts_ms` (a half-speed worker takes twice as long).
+    pub fn service_ns(&self, w: usize, ts_ms: u64) -> u64 {
+        ((self.base_ns as f64 / self.drift.speed(w, ts_ms)).round() as u64).max(1)
+    }
+}
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone)]
@@ -58,6 +85,18 @@ pub struct SimConfig {
     /// [`EpochStats`]; the scheme must be
     /// [`Partitioner::resizable`] (Off-Greedy is not).
     pub membership_plan: Option<MembershipPlan>,
+    /// The load signal the schemes minimize. The default,
+    /// [`LoadMetricKind::TupleCount`], attaches no signal state and routes
+    /// byte-identically to every pre-metric revision.
+    pub load_metric: LoadMetricKind,
+    /// Attach an online [`CapacityEstimator`] with this window (total
+    /// observations per rotation). Requires a [`Self::service_profile`] to
+    /// have anything to observe.
+    pub estimator_window: Option<u64>,
+    /// Emulated per-worker service times (feeds latency observations and
+    /// the estimator; also turns on per-phase load accounting in the
+    /// report).
+    pub service_profile: Option<ServiceProfile>,
 }
 
 impl SimConfig {
@@ -77,7 +116,29 @@ impl SimConfig {
             capacities: None,
             capacity_blind_routing: false,
             membership_plan: None,
+            load_metric: LoadMetricKind::TupleCount,
+            estimator_window: None,
+            service_profile: None,
         }
+    }
+
+    /// Builder: select the minimized load signal.
+    pub fn with_load_metric(mut self, metric: LoadMetricKind) -> Self {
+        self.load_metric = metric;
+        self
+    }
+
+    /// Builder: attach an online capacity estimator with the given window.
+    pub fn with_estimator(mut self, window: u64) -> Self {
+        self.estimator_window = Some(window.max(1));
+        self
+    }
+
+    /// Builder: emulate per-worker service times (see [`ServiceProfile`]).
+    pub fn with_service_profile(mut self, profile: ServiceProfile) -> Self {
+        assert_eq!(profile.drift.n(), self.workers, "one speed schedule entry per worker");
+        self.service_profile = Some(profile);
+        self
     }
 
     /// Builder: scripted join/leave schedule (see
@@ -148,10 +209,18 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
     // Routing sees the capacity weights through SharedLoads (every scheme
     // built from it routes by normalized load) unless the config asks for
     // the capacity-blind baseline.
+    let estimator =
+        cfg.estimator_window.map(|w| Arc::new(CapacityEstimator::with_history(cfg.workers, w)));
+    // The default metric with no estimator attaches no signal state at all
+    // (`SharedLoads::with_signals` collapses to the plain structure), so
+    // the default configuration routes byte-identically to earlier
+    // revisions.
     let shared = match (&cfg.capacities, cfg.capacity_blind_routing) {
         (Some(caps), false) => SharedLoads::new(cfg.workers).with_capacities(caps),
         _ => SharedLoads::new(cfg.workers),
-    };
+    }
+    .with_signals(cfg.load_metric, estimator.clone());
+    let signals = shared.signals().cloned();
     let freqs = if cfg.scheme.needs_frequencies() {
         Some(frequencies(spec, cfg.stream_seed))
     } else {
@@ -222,6 +291,16 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         }
     };
 
+    // Per-phase load accounting for speed-drift runs: one fresh count
+    // vector per drift phase, so each phase's balance is scored against
+    // the speeds that were actually in force.
+    let mut phase_loads: Vec<Vec<u64>> = cfg
+        .service_profile
+        .as_ref()
+        .map(|p| vec![vec![0u64; cfg.workers]; p.drift.phases()])
+        .unwrap_or_default();
+    let mut phase_msgs: Vec<u64> = vec![0; phase_loads.len()];
+
     // `routed` counts the messages routed before this one, so a threshold
     // of `t` switches membership after exactly `t` old-epoch messages.
     for (routed, msg) in (0u64..).zip(spec.iter(cfg.stream_seed)) {
@@ -258,6 +337,17 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         debug_assert!(w < cfg.workers);
         shared.record(w);
         loads.record(w, 1);
+        if let Some(profile) = &cfg.service_profile {
+            // In the sim a tuple completes the instant it is routed: no
+            // pending window — only the service-time observation feeds the
+            // latency EWMA and the capacity estimator.
+            if let Some(sig) = &signals {
+                sig.observe(w, profile.service_ns(w, msg.ts_ms));
+            }
+            let phase = profile.drift.phase_at(msg.ts_ms);
+            phase_loads[phase][w] += 1;
+            phase_msgs[phase] += 1;
+        }
         if let Some(t) = tracker.as_mut() {
             t.record(msg.key, w);
         }
@@ -314,6 +404,22 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         snapshot(&loads, spec.duration_ms() as f64 / 3_600_000.0);
     }
 
+    let drift = cfg.service_profile.as_ref().map(|p| DriftStats {
+        phases: phase_loads
+            .into_iter()
+            .zip(phase_msgs)
+            .enumerate()
+            .map(|(i, (loads, messages))| PhaseStats {
+                phase: i,
+                messages,
+                loads,
+                speeds: p.drift.speeds_of_phase(i).to_vec(),
+            })
+            .collect(),
+        estimator_rotations: estimator.as_ref().map_or(0, |e| e.rotations()),
+        estimator_weights: estimator.as_ref().map(|e| e.weights()).unwrap_or_default(),
+    });
+
     let messages = loads.total();
     let replication = tracker.map(|t| ReplicationStats {
         distinct_keys: t.distinct_keys(),
@@ -351,6 +457,8 @@ pub fn run(spec: &StreamSpec, cfg: &SimConfig) -> SimReport {
         replication,
         aggregation: aggsim.map(|a| a.finish(spec.duration_ms())),
         epochs: cfg.membership_plan.as_ref().map(|_| epoch_stats),
+        load_metric: shared.metric_label().to_string(),
+        drift,
         wall_time: started.elapsed(),
     }
 }
@@ -637,6 +745,87 @@ mod tests {
         // All of workers 4/5's mass came from epoch 0 (10k messages).
         assert!(r.worker_loads[4] + r.worker_loads[5] <= 10_000);
         assert!(r.worker_loads[..4].iter().all(|&l| l > 10_000 / 6));
+    }
+
+    #[test]
+    fn default_config_reports_the_count_metric_and_no_drift() {
+        let spec = small_spec();
+        let r = run(&spec, &SimConfig::new(4, 1, SchemeSpec::pkg(EstimateKind::Local)));
+        assert_eq!(r.load_metric, "count");
+        assert!(r.drift.is_none());
+    }
+
+    #[test]
+    fn uniform_speed_peak_ewma_routes_byte_identically_to_tuple_count() {
+        // The adaptive stack (Peak-EWMA + estimator) under *uniform*
+        // observed latency must reproduce the TupleCount oracle run
+        // exactly: every worker's signal is the same constant multiple of
+        // its count, preserving strict orders AND ties, and the estimator
+        // dead-band keeps `scale` the identity.
+        let spec = small_spec();
+        let baseline = run(&spec, &SimConfig::new(8, 3, SchemeSpec::pkg(EstimateKind::Global)));
+        let profile = ServiceProfile::new(50_000, SpeedDrift::uniform(8));
+        let adaptive = run(
+            &spec,
+            &SimConfig::new(8, 3, SchemeSpec::pkg(EstimateKind::Global))
+                .with_load_metric(LoadMetricKind::peak_ewma())
+                .with_estimator(2_048)
+                .with_service_profile(profile),
+        );
+        assert_eq!(adaptive.load_metric, "peak_ewma");
+        assert_eq!(
+            baseline.worker_loads, adaptive.worker_loads,
+            "uniform-speed adaptive run must be byte-identical to today's routing"
+        );
+        let drift = adaptive.drift.expect("profile set");
+        assert!(drift.estimator_rotations > 0, "the estimator did rotate");
+        assert!(
+            drift.estimator_weights.iter().all(|&w| w == 1.0),
+            "uniform observations keep the estimator in its dead-band: {:?}",
+            drift.estimator_weights
+        );
+        assert_eq!(drift.phases.len(), 1);
+        assert_eq!(drift.phases[0].messages, 60_000);
+    }
+
+    #[test]
+    fn adaptive_metric_sheds_load_from_a_worker_slowed_mid_run() {
+        // Worker 0 slows 4× halfway through the stream. The static arm
+        // (today's PKG) keeps balancing raw counts; the adaptive arm sees
+        // the latency jump and the estimator's re-derived weights, and
+        // sheds load within the phase. Score: weighted imbalance of the
+        // post-change phase against the TRUE post-change speeds.
+        let spec = small_spec();
+        let w = 8;
+        let mut slowed = vec![1.0; w];
+        slowed[0] = 0.25;
+        let drift = SpeedDrift::uniform(w).with_step(spec.duration_ms() / 2, slowed);
+        let profile = ServiceProfile::new(50_000, drift);
+        let static_arm = run(
+            &spec,
+            &SimConfig::new(w, 3, SchemeSpec::pkg(EstimateKind::Local))
+                .with_service_profile(profile.clone()),
+        );
+        let adaptive = run(
+            &spec,
+            &SimConfig::new(w, 3, SchemeSpec::pkg(EstimateKind::Local))
+                .with_load_metric(LoadMetricKind::peak_ewma())
+                .with_estimator(2_048)
+                .with_service_profile(profile),
+        );
+        let s = &static_arm.drift.expect("profile set").phases[1];
+        let a = &adaptive.drift.expect("profile set").phases[1];
+        assert!(s.messages > 10_000 && a.messages > 10_000, "phase 1 carries real traffic");
+        assert!(
+            a.weighted_imbalance() < s.weighted_imbalance() / 2.0,
+            "adaptive {} must beat static {} on true-capacity weighted imbalance",
+            a.weighted_imbalance(),
+            s.weighted_imbalance()
+        );
+        assert!(
+            a.loads[0] < s.loads[0],
+            "the slowed worker must absorb less under the adaptive stack"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use partial_key_grouping::prelude::*;
 use pkg_elastic::{Change, MembershipPlan};
 use pkg_hash::murmur3::{murmur3_128, murmur3_64_u64};
 use pkg_hash::HashFamily;
-use pkg_metrics::{imbalance, worst_case_imbalance, LoadVector};
+use pkg_metrics::{imbalance, worst_case_imbalance, CapacityEstimator, LoadMetricKind, LoadVector};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -628,6 +628,100 @@ proptest! {
                 0,
                 "duplicates recorded with no hedges issued"
             );
+        }
+    }
+}
+
+/// The load-consulting schemes — the ones whose routing reads the shared
+/// load vector, and therefore the ones a pluggable load signal can perturb.
+/// Signals force Global estimation (the signal state IS shared feedback),
+/// so the capacity-free oracle must read Global estimates too.
+fn load_consulting_schemes() -> [SchemeSpec; 5] {
+    [
+        SchemeSpec::pkg(EstimateKind::Global),
+        SchemeSpec::d_choices(EstimateKind::Global),
+        SchemeSpec::w_choices(EstimateKind::Global),
+        SchemeSpec::StaticPotc { estimate: EstimateKind::Global },
+        SchemeSpec::OnGreedy { estimate: EstimateKind::Global },
+    ]
+}
+
+// Pluggable load-signal properties: the degenerate configurations must
+// vanish without a trace. A fresh proptest! block once more (the vendored
+// tt-muncher's recursion depth scales with one block's tokens).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tuple_count_signals_route_byte_identically_to_plain_shared_loads(
+        n in 2usize..32,
+        seed: u64,
+        keys in prop::collection::vec(0u64..500, 50..400),
+    ) {
+        // TupleCount with no estimator collapses at attach time: no signal
+        // state is allocated at all, so the configuration is *structurally*
+        // the plain path.
+        let collapsed =
+            pkg_core::SharedLoads::new(n).with_signals(LoadMetricKind::TupleCount, None);
+        prop_assert!(collapsed.signals().is_none(), "TupleCount w/o estimator must collapse");
+        prop_assert_eq!(collapsed.metric_label(), "count");
+
+        // TupleCount *with* an (unrotated) estimator does allocate signal
+        // state — and must still route decision-for-decision like the plain
+        // shared loads, for every load-consulting scheme.
+        let plain = pkg_core::SharedLoads::new(n);
+        let estimator = std::sync::Arc::new(CapacityEstimator::new(n, 64));
+        let signaled = pkg_core::SharedLoads::new(n)
+            .with_signals(LoadMetricKind::TupleCount, Some(estimator));
+        prop_assert!(signaled.signals().is_some());
+        for scheme in load_consulting_schemes() {
+            let mut a = scheme.build(n, seed, 0, &plain, None);
+            let mut b = scheme.build(n, seed, 0, &signaled, None);
+            for (t, &k) in keys.iter().enumerate() {
+                let (wa, wb) = (a.route(k, t as u64), b.route(k, t as u64));
+                // Mirror the engine/sim loop: the chosen worker's count is
+                // the (shared) feedback both arms route on.
+                plain.record(wa);
+                signaled.record(wb);
+                prop_assert_eq!(
+                    wa, wb,
+                    "{} diverged under TupleCount signals at t={}", scheme.label(), t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_ewma_with_zero_observed_latency_routes_like_tuple_count(
+        n in 2usize..32,
+        seed: u64,
+        window in 1u32..256,
+        keys in prop::collection::vec(0u64..500, 50..400),
+    ) {
+        // Before any latency observation arrives the Peak-EWMA signal is
+        // `1 × (count + pending)`; with nothing in flight that is exactly
+        // the tuple count, so every argmin — and every tie-break — must
+        // agree with plain count routing, whatever the EWMA window.
+        let plain = pkg_core::SharedLoads::new(n);
+        let ewma = pkg_core::SharedLoads::new(n)
+            .with_signals(LoadMetricKind::PeakEwma { window }, None);
+        prop_assert!(ewma.signals().is_some(), "PeakEwma always attaches");
+        prop_assert_eq!(ewma.metric_label(), "peak_ewma");
+        for scheme in load_consulting_schemes() {
+            let mut a = scheme.build(n, seed, 0, &plain, None);
+            let mut b = scheme.build(n, seed, 0, &ewma, None);
+            for (t, &k) in keys.iter().enumerate() {
+                let (wa, wb) = (a.route(k, t as u64), b.route(k, t as u64));
+                plain.record(wa);
+                ewma.record(wb);
+                prop_assert_eq!(
+                    wa, wb,
+                    "{} diverged under zero-latency PeakEwma at t={}", scheme.label(), t
+                );
+            }
+        }
+        for w in 0..n {
+            prop_assert_eq!(ewma.signal(w), ewma.load(w), "signal must equal raw count");
         }
     }
 }
